@@ -1,0 +1,128 @@
+package encompass_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"encompass"
+	"encompass/internal/workload"
+)
+
+// TestChaosSoak runs the banking workload on a two-node system while a
+// fault injector continuously fails and revives CPUs, mirrored drives,
+// buses, controllers and the network link. The paper's whole thesis is
+// that none of this can break atomicity: at the end, every branch balance
+// must equal the sum of its tellers.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	sys, err := encompass.Build(encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "west", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v-west", Audited: true, CacheSize: 256}}},
+			{Name: "east", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v-east", Audited: true, CacheSize: 256}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := workload.SetupBank(sys, workload.BankConfig{
+		Placement: []workload.Placement{
+			{Node: "west", Volume: "v-west"},
+			{Node: "east", Volume: "v-east"},
+		},
+		Branches: 4, Tellers: 3, Accounts: 40,
+		RemoteFraction: 0.25,
+		MaxRetries:     40,
+		Seed:           1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var injected atomic.Int64
+	go func() {
+		rng := rand.New(rand.NewSource(99))
+		west, east := sys.Node("west"), sys.Node("east")
+		for !stop.Load() {
+			time.Sleep(time.Duration(5+rng.Intn(15)) * time.Millisecond)
+			injected.Add(1)
+			switch rng.Intn(8) {
+			case 0:
+				// Fail a random non-zero CPU on west and revive it shortly.
+				// CPU 0 hosts the TMP primary; keeping it alive keeps the
+				// run fast (its failure is covered by dedicated tests).
+				cpu := 1 + rng.Intn(3)
+				west.HW.FailCPU(cpu)
+				time.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+				west.HW.ReviveCPU(cpu)
+			case 1:
+				cpu := 1 + rng.Intn(3)
+				east.HW.FailCPU(cpu)
+				time.Sleep(5 * time.Millisecond)
+				east.HW.ReviveCPU(cpu)
+			case 2:
+				west.Volumes["v-west"].Disk.FailDrive(rng.Intn(2))
+				time.Sleep(5 * time.Millisecond)
+				west.Volumes["v-west"].Disk.ReviveDrive(0)
+				west.Volumes["v-west"].Disk.ReviveDrive(1)
+			case 3:
+				east.Volumes["v-east"].Disk.Controller(rng.Intn(2)).Fail()
+				time.Sleep(5 * time.Millisecond)
+				east.Volumes["v-east"].Disk.Controller(0).Revive()
+				east.Volumes["v-east"].Disk.Controller(1).Revive()
+			case 4:
+				west.HW.FailBus(0)
+				time.Sleep(3 * time.Millisecond)
+				west.HW.ReviveBus(0)
+			case 5:
+				sys.Partition("east")
+				time.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+				sys.Heal()
+			default:
+				// quiet interval
+			}
+		}
+	}()
+
+	// Two independent requesters, one per node.
+	type out struct {
+		res workload.Result
+	}
+	results := make(chan out, 2)
+	for _, node := range []string{"west", "east"} {
+		node := node
+		go func() {
+			results <- out{res: bank.Run(node, 150, 3)}
+		}()
+	}
+	totalCommitted, totalAborted := 0, 0
+	for i := 0; i < 2; i++ {
+		o := <-results
+		totalCommitted += o.res.Committed
+		totalAborted += o.res.Aborted
+	}
+	stop.Store(true)
+	sys.Heal()
+
+	t.Logf("chaos: %d faults injected, %d committed, %d gave up", injected.Load(), totalCommitted, totalAborted)
+	if totalCommitted == 0 {
+		t.Fatal("nothing committed through the chaos")
+	}
+	// Let any in-flight aborts and safe deliveries settle.
+	time.Sleep(300 * time.Millisecond)
+	if err := bank.VerifyConsistency(); err != nil {
+		t.Fatalf("ATOMICITY VIOLATED: %v", err)
+	}
+	// And the system still works afterwards.
+	res := bank.Run("west", 20, 2)
+	if res.Committed != 20 {
+		t.Errorf("post-chaos run: %d/20 committed", res.Committed)
+	}
+	if err := bank.VerifyConsistency(); err != nil {
+		t.Fatalf("post-chaos invariant: %v", err)
+	}
+}

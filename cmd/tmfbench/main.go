@@ -1,0 +1,64 @@
+// Command tmfbench regenerates the paper's figures and claims as text
+// tables: each experiment builds a simulated ENCOMPASS system, drives it,
+// and prints the resulting table plus a PASS/FAIL verdict for the
+// qualitative claim it reproduces.
+//
+// Usage:
+//
+//	tmfbench -exp all      # every experiment (default)
+//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T7 (claims)
+//	tmfbench -list         # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"encompass/internal/experiments"
+)
+
+var descriptions = []struct{ id, title string }{
+	{"F1", "single-module failure tolerance (Figure 1)"},
+	{"F2", "typical ENCOMPASS configuration (Figure 2)"},
+	{"F3", "transaction state transitions (Figure 3)"},
+	{"F4", "manufacturing network: autonomy and convergence (Figure 4)"},
+	{"T1", "commit cost vs participant count (abbreviated vs distributed 2PC)"},
+	{"T2", "checkpoint-instead-of-WAL ablation"},
+	{"T3", "backout cost vs transaction size"},
+	{"T4", "hot-spot contention: deadlock by timeout + restart"},
+	{"T5", "ROLLFORWARD recovery vs committed-history length"},
+	{"T6", "broadcast cost vs CPUs; participant-only across network"},
+	{"T7", "update availability under partition"},
+	{"T8", "availability through processor failure: NonStop vs conventional restart"},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: F1-F4, T1-T8, or all")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, d := range descriptions {
+			fmt.Printf("%-3s %s\n", d.id, d.title)
+		}
+		return
+	}
+
+	reports, err := experiments.Run(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failed := 0
+	for _, r := range reports {
+		fmt.Println(r.String())
+		if !r.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

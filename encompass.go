@@ -1,0 +1,370 @@
+// Package encompass is a Go reproduction of the ENCOMPASS distributed data
+// management system and its Transaction Monitoring Facility (TMF), as
+// described in Andrea Borr, "Transaction Monitoring in ENCOMPASS: Reliable
+// Distributed Transaction Processing" (Tandem TR 81.2 / VLDB 1981).
+//
+// The package assembles the simulated substrate — NonStop nodes with 2-16
+// CPUs and dual interprocessor buses, a message-based operating system,
+// process pairs, the EXPAND network, mirrored disc volumes, DISCPROCESSes,
+// AUDITPROCESSes and audit trails — and runs TMF on top: transids,
+// state-change broadcast, the abbreviated single-node two-phase commit,
+// the distributed commit protocol with critical-response and safe-delivery
+// messages, transaction backout, and ROLLFORWARD recovery.
+//
+// Quick start:
+//
+//	sys, _ := encompass.Build(encompass.Config{
+//	    Nodes: []encompass.NodeSpec{{Name: "alpha", CPUs: 4,
+//	        Volumes: []encompass.VolumeSpec{{Name: "data1", Audited: true}}}},
+//	})
+//	defer sys.Stop()
+//	node := sys.Node("alpha")
+//	_ = node.FS.Create(fsys.FileInfo{ ... })
+//	tx, _ := node.Begin()
+//	_ = tx.Insert("accounts", "100", []byte("balance=50"))
+//	_ = tx.Commit()
+package encompass
+
+import (
+	"fmt"
+	"time"
+
+	"encompass/internal/audit"
+	"encompass/internal/dbfile"
+	"encompass/internal/discproc"
+	"encompass/internal/disk"
+	"encompass/internal/expand"
+	"encompass/internal/fsys"
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/tmf"
+	"encompass/internal/txid"
+)
+
+// VolumeSpec configures one mirrored disc volume on a node.
+type VolumeSpec struct {
+	Name string
+	// Audited volumes generate before/after images and are protected by
+	// transaction backout and ROLLFORWARD.
+	Audited bool
+	// AuditGroup shares an AUDITPROCESS and audit trail between volumes
+	// ("all audited discs on a given controller share an AUDITPROCESS and
+	// an audit trail"); empty means a group of its own.
+	AuditGroup string
+	// CacheSize is the DISCPROCESS record cache capacity (0 disables).
+	CacheSize int
+	// MissPenalty simulates the disc read the cache avoids.
+	MissPenalty time.Duration
+	// ForceEveryUpdate selects the conventional WAL discipline for the T2
+	// ablation benchmark.
+	ForceEveryUpdate bool
+}
+
+// NodeSpec configures one Tandem node.
+type NodeSpec struct {
+	Name    string
+	CPUs    int
+	Volumes []VolumeSpec
+}
+
+// Config describes a whole simulated network.
+type Config struct {
+	Nodes []NodeSpec
+	// Links are point-to-point communication lines between node names. If
+	// empty and there are multiple nodes, a line topology is created.
+	Links [][2]string
+	// NetLatency is the per-hop propagation delay (0 = synchronous).
+	NetLatency time.Duration
+	// AuditForceDelay simulates the audit-trail write-force latency.
+	AuditForceDelay time.Duration
+	// MonitorForceDelay simulates the commit-record force latency.
+	MonitorForceDelay time.Duration
+}
+
+// Volume bundles the running pieces serving one disc volume.
+type Volume struct {
+	Spec  VolumeSpec
+	Disk  *disk.Volume
+	Proc  *discproc.Proc
+	Trail *audit.Trail
+}
+
+// Node is one running ENCOMPASS node.
+type Node struct {
+	Name string
+	HW   *hw.Node
+	Msg  *msg.System
+	TMF  *tmf.Monitor
+	FS   *fsys.FS
+
+	Volumes map[string]*Volume
+
+	netw     *expand.Network
+	beginCPU int
+}
+
+// System is the running simulation: all nodes plus the network.
+type System struct {
+	Network *expand.Network
+	nodes   map[string]*Node
+	order   []string
+}
+
+// Build assembles and starts the configured system.
+func Build(cfg Config) (*System, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("encompass: no nodes configured")
+	}
+	s := &System{
+		Network: expand.NewNetwork(cfg.NetLatency),
+		nodes:   make(map[string]*Node),
+	}
+	for _, ns := range cfg.Nodes {
+		n, err := buildNode(s.Network, ns, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("encompass: node %s: %w", ns.Name, err)
+		}
+		s.nodes[ns.Name] = n
+		s.order = append(s.order, ns.Name)
+	}
+	links := cfg.Links
+	if len(links) == 0 {
+		for i := 0; i+1 < len(s.order); i++ {
+			links = append(links, [2]string{s.order[i], s.order[i+1]})
+		}
+	}
+	for _, l := range links {
+		if err := s.Network.AddLink(l[0], l[1]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func buildNode(net *expand.Network, ns NodeSpec, cfg Config) (*Node, error) {
+	if ns.CPUs == 0 {
+		ns.CPUs = 4
+	}
+	hwNode, err := hw.NewNode(ns.Name, ns.CPUs)
+	if err != nil {
+		return nil, err
+	}
+	sys := msg.NewSystem(hwNode)
+	net.Attach(sys)
+
+	mon, err := tmf.New(tmf.Config{
+		System:                 sys,
+		Network:                net,
+		MonitorTrailForceDelay: cfg.MonitorForceDelay,
+		TMPPrimaryCPU:          0,
+		TMPBackupCPU:           1 % ns.CPUs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Name:    ns.Name,
+		HW:      hwNode,
+		Msg:     sys,
+		TMF:     mon,
+		Volumes: make(map[string]*Volume),
+		netw:    net,
+	}
+
+	// One AUDITPROCESS + trail per audit group.
+	trails := make(map[string]*audit.Trail)
+	for i, vs := range ns.Volumes {
+		group := vs.AuditGroup
+		if group == "" {
+			group = vs.Name
+		}
+		var cl *audit.Client
+		var trail *audit.Trail
+		if vs.Audited {
+			trail = trails[group]
+			if trail == nil {
+				trail = audit.NewTrail("audit-"+group, cfg.AuditForceDelay)
+				trails[group] = trail
+				pcpu := i % ns.CPUs
+				bcpu := (i + 1) % ns.CPUs
+				if _, err := audit.StartProcess(sys, "audit-"+group, pcpu, bcpu, trail); err != nil {
+					return nil, err
+				}
+			}
+			cl = audit.NewClient(sys, "audit-"+group)
+		}
+		vol := disk.NewVolume(vs.Name)
+		discName := "disc-" + vs.Name
+		pcpu := i % ns.CPUs
+		bcpu := (i + 1) % ns.CPUs
+		proc, err := discproc.Start(sys, discName, pcpu, bcpu, discproc.Config{
+			Volume:           vol,
+			Audit:            cl,
+			OnParticipate:    mon.RegisterLocalVolume,
+			CacheSize:        vs.CacheSize,
+			MissPenalty:      vs.MissPenalty,
+			ForceEveryUpdate: vs.ForceEveryUpdate,
+		})
+		if err != nil {
+			return nil, err
+		}
+		auditName := ""
+		if vs.Audited {
+			auditName = "audit-" + group
+		}
+		mon.AddVolume(tmf.VolumeInfo{Name: vs.Name, DiscName: discName, AuditName: auditName})
+		n.Volumes[vs.Name] = &Volume{Spec: vs, Disk: vol, Proc: proc, Trail: trail}
+	}
+	n.FS = fsys.New(sys, mon)
+	return n, nil
+}
+
+// Node returns a node by name, or nil.
+func (s *System) Node(name string) *Node { return s.nodes[name] }
+
+// Nodes returns all nodes in configuration order.
+func (s *System) Nodes() []*Node {
+	out := make([]*Node, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.nodes[name])
+	}
+	return out
+}
+
+// Partition severs the given nodes from the rest of the network.
+func (s *System) Partition(group ...string) { s.Network.Partition(group...) }
+
+// Heal restores all failed links.
+func (s *System) Heal() { s.Network.HealAll() }
+
+// Stop is a placeholder for symmetry with long-running deployments; the
+// simulation's goroutines are owned by CPU contexts and stop when the
+// process exits.
+func (s *System) Stop() {}
+
+// CreateFileEverywhere defines a file in every node's catalog and creates
+// its partitions once. Applications on any node can then access it.
+func (s *System) CreateFileEverywhere(fi fsys.FileInfo) error {
+	first := true
+	for _, name := range s.order {
+		n := s.nodes[name]
+		var err error
+		if first {
+			err = n.FS.Create(fi)
+			first = false
+		} else {
+			err = n.FS.Define(fi)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Re-exported catalog types, so applications need only this package.
+type (
+	// Organization selects a file structure (key-sequenced, relative,
+	// entry-sequenced).
+	Organization = dbfile.Organization
+	// AltKeyDef describes an alternate key field.
+	AltKeyDef = dbfile.AltKeyDef
+	// Rec is a key/value record returned by scans.
+	Rec = dbfile.Rec
+	// FileInfo is a catalog entry with its partitions.
+	FileInfo = fsys.FileInfo
+	// Partition maps a key range to a volume.
+	Partition = fsys.Partition
+)
+
+// Re-exported file organizations.
+const (
+	KeySequenced   = dbfile.KeySequenced
+	Relative       = dbfile.Relative
+	EntrySequenced = dbfile.EntrySequenced
+)
+
+// LocalFile builds a single-partition FileInfo for a file living wholly on
+// one volume of one node.
+func LocalFile(name string, org Organization, node, volume string, altKeys ...AltKeyDef) FileInfo {
+	return FileInfo{
+		Name:    name,
+		Org:     org,
+		AltKeys: altKeys,
+		Partitions: []Partition{{
+			LowKey: "", Node: node, Volume: volume, Disc: "disc-" + volume,
+		}},
+	}
+}
+
+// PartitionedFile builds a FileInfo spread across volumes by key range:
+// parts[i] = {lowKey, node, volume}. The first lowKey must be "".
+func PartitionedFile(name string, org Organization, parts [][3]string, altKeys ...AltKeyDef) FileInfo {
+	fi := FileInfo{Name: name, Org: org, AltKeys: altKeys}
+	for _, p := range parts {
+		fi.Partitions = append(fi.Partitions, Partition{
+			LowKey: p[0], Node: p[1], Volume: p[2], Disc: "disc-" + p[2],
+		})
+	}
+	return fi
+}
+
+// Begin starts a transaction homed on this node. The BEGIN-TRANSACTION
+// processor rotates across the node's up CPUs.
+func (n *Node) Begin() (*Tx, error) {
+	up := n.HW.UpCPUs()
+	if len(up) == 0 {
+		return nil, fmt.Errorf("encompass: node %s has no up CPUs", n.Name)
+	}
+	n.beginCPU++
+	cpu := up[n.beginCPU%len(up)]
+	id, err := n.TMF.Begin(cpu)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{node: n, ID: id}, nil
+}
+
+// Tx is a live transaction handle bound to its home node.
+type Tx struct {
+	node *Node
+	ID   txid.ID
+}
+
+// Read fetches a record without locking.
+func (t *Tx) Read(file, key string) ([]byte, error) { return t.node.FS.Read(file, key) }
+
+// ReadLock fetches a record and takes its lock for this transaction.
+func (t *Tx) ReadLock(file, key string) ([]byte, error) {
+	return t.node.FS.ReadLock(t.ID, file, key)
+}
+
+// Insert adds a record (automatically locked).
+func (t *Tx) Insert(file, key string, val []byte) error {
+	return t.node.FS.Insert(t.ID, file, key, val)
+}
+
+// Update replaces a record previously locked by this transaction.
+func (t *Tx) Update(file, key string, val []byte) error {
+	return t.node.FS.Update(t.ID, file, key, val)
+}
+
+// Delete removes a record previously locked by this transaction.
+func (t *Tx) Delete(file, key string) error { return t.node.FS.Delete(t.ID, file, key) }
+
+// Append adds a record to an entry-sequenced file.
+func (t *Tx) Append(file string, val []byte) (string, error) {
+	return t.node.FS.Append(t.ID, file, val)
+}
+
+// LockFile takes a file-granularity lock.
+func (t *Tx) LockFile(file string) error { return t.node.FS.LockFile(t.ID, file) }
+
+// Commit runs END-TRANSACTION: the two-phase commit protocol.
+func (t *Tx) Commit() error { return t.node.TMF.End(t.ID) }
+
+// Abort runs ABORT-TRANSACTION: back out all updates.
+func (t *Tx) Abort(reason string) error { return t.node.TMF.Abort(t.ID, reason) }
+
+// State reports the transaction's current state on its home node.
+func (t *Tx) State() txid.State { return t.node.TMF.State(t.ID) }

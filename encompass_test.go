@@ -1,0 +1,347 @@
+package encompass_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"encompass"
+	"encompass/internal/fsys"
+	"encompass/internal/lock"
+	"encompass/internal/txid"
+)
+
+func build(t *testing.T, cfg encompass.Config) *encompass.System {
+	t.Helper()
+	sys, err := encompass.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func oneNode(t *testing.T) *encompass.System {
+	return build(t, encompass.Config{
+		Nodes: []encompass.NodeSpec{{
+			Name: "alpha", CPUs: 4,
+			Volumes: []encompass.VolumeSpec{{Name: "v1", Audited: true, CacheSize: 64}},
+		}},
+	})
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := oneNode(t)
+	n := sys.Node("alpha")
+	if err := n.FS.Create(encompass.LocalFile("accounts", encompass.KeySequenced, "alpha", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := n.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("accounts", "100", []byte("balance=50")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := n.FS.Read("accounts", "100")
+	if err != nil || string(v) != "balance=50" {
+		t.Fatalf("read = %q, %v", v, err)
+	}
+	if tx.State() != txid.StateEnded {
+		t.Errorf("state = %v", tx.State())
+	}
+}
+
+func TestAbortRestoresState(t *testing.T) {
+	sys := oneNode(t)
+	n := sys.Node("alpha")
+	n.FS.Create(encompass.LocalFile("f", encompass.KeySequenced, "alpha", "v1"))
+
+	tx1, _ := n.Begin()
+	tx1.Insert("f", "k", []byte("orig"))
+	tx1.Commit()
+
+	tx2, _ := n.Begin()
+	if _, err := tx2.ReadLock("f", "k"); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Update("f", "k", []byte("dirty"))
+	tx2.Abort("user requested")
+	v, _ := n.FS.Read("f", "k")
+	if string(v) != "orig" {
+		t.Errorf("value = %q, want orig", v)
+	}
+}
+
+func TestPartitionedFileRouting(t *testing.T) {
+	sys := build(t, encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "a", CPUs: 3, Volumes: []encompass.VolumeSpec{{Name: "va", Audited: true}}},
+			{Name: "b", CPUs: 3, Volumes: []encompass.VolumeSpec{{Name: "vb", Audited: true}}},
+		},
+	})
+	fi := encompass.PartitionedFile("items", encompass.KeySequenced, [][3]string{
+		{"", "a", "va"},
+		{"m", "b", "vb"},
+	})
+	if err := sys.CreateFileEverywhere(fi); err != nil {
+		t.Fatal(err)
+	}
+	a := sys.Node("a")
+	tx, _ := a.Begin()
+	if err := tx.Insert("items", "apple", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("items", "zebra", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Physical placement followed key ranges.
+	if ok, _ := a.Volumes["va"].Disk.Exists("items", "apple"); !ok {
+		t.Error("apple not on va")
+	}
+	if ok, _ := sys.Node("b").Volumes["vb"].Disk.Exists("items", "zebra"); !ok {
+		t.Error("zebra not on vb")
+	}
+	// Cross-partition range scan merges in order.
+	recs, err := a.FS.ReadRange("items", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Key != "apple" || recs[1].Key != "zebra" {
+		t.Errorf("range = %+v", recs)
+	}
+	// Reads from the other node work identically.
+	v, err := sys.Node("b").FS.Read("items", "apple")
+	if err != nil || string(v) != "1" {
+		t.Errorf("remote read = %q, %v", v, err)
+	}
+}
+
+func TestDistributedTxThroughFacade(t *testing.T) {
+	sys := build(t, encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "a", CPUs: 3, Volumes: []encompass.VolumeSpec{{Name: "va", Audited: true}}},
+			{Name: "b", CPUs: 3, Volumes: []encompass.VolumeSpec{{Name: "vb", Audited: true}}},
+		},
+	})
+	sys.CreateFileEverywhere(encompass.LocalFile("fa", encompass.KeySequenced, "a", "va"))
+	sys.CreateFileEverywhere(encompass.LocalFile("fb", encompass.KeySequenced, "b", "vb"))
+
+	a := sys.Node("a")
+	tx, _ := a.Begin()
+	if err := tx.Insert("fa", "k", []byte("on-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("fb", "k", []byte("on-b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.Node("b").FS.Read("fb", "k")
+	if err != nil || string(v) != "on-b" {
+		t.Errorf("b read = %q, %v", v, err)
+	}
+}
+
+func TestLockTimeoutSurfacesThroughFacade(t *testing.T) {
+	sys := oneNode(t)
+	n := sys.Node("alpha")
+	n.FS.Create(encompass.LocalFile("f", encompass.KeySequenced, "alpha", "v1"))
+	n.FS.LockTimeout = 50 * time.Millisecond
+
+	tx1, _ := n.Begin()
+	tx1.Insert("f", "k", []byte("v"))
+	tx2, _ := n.Begin()
+	_, err := tx2.ReadLock("f", "k")
+	if err == nil {
+		t.Fatal("expected lock timeout")
+	}
+	if !errors.Is(err, lock.ErrTimeout) && !isTimeoutMsg(err) {
+		t.Errorf("err = %v, want lock timeout", err)
+	}
+	tx1.Commit()
+	tx2.Abort("deadlock recovery")
+}
+
+func isTimeoutMsg(err error) bool {
+	return err != nil && (errors.Is(err, lock.ErrTimeout) || containsStr(err.Error(), "timed out"))
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAltKeysThroughFacade(t *testing.T) {
+	sys := oneNode(t)
+	n := sys.Node("alpha")
+	n.FS.Create(encompass.LocalFile("emp", encompass.KeySequenced, "alpha", "v1",
+		encompass.AltKeyDef{Name: "dept", Offset: 0, Len: 3}))
+	tx, _ := n.Begin()
+	tx.Insert("emp", "e1", []byte("ENGalice"))
+	tx.Insert("emp", "e2", []byte("MKTbob"))
+	tx.Insert("emp", "e3", []byte("ENGcarol"))
+	tx.Commit()
+	recs, err := n.FS.ReadByAltKey("emp", "dept", "ENG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Key != "e1" || recs[1].Key != "e3" {
+		t.Errorf("alt read = %+v", recs)
+	}
+}
+
+func TestEntrySequencedAppendThroughFacade(t *testing.T) {
+	sys := oneNode(t)
+	n := sys.Node("alpha")
+	n.FS.Create(encompass.LocalFile("hist", encompass.EntrySequenced, "alpha", "v1"))
+	tx, _ := n.Begin()
+	k1, err := tx.Append("hist", []byte("event-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := tx.Append("hist", []byte("event-2"))
+	if k1 >= k2 {
+		t.Errorf("keys not increasing: %q %q", k1, k2)
+	}
+	tx.Commit()
+}
+
+func TestTakeoverInvisibleThroughFS(t *testing.T) {
+	sys := oneNode(t)
+	n := sys.Node("alpha")
+	n.FS.Create(encompass.LocalFile("f", encompass.KeySequenced, "alpha", "v1"))
+	tx, _ := n.Begin()
+	tx.Insert("f", "k", []byte("v"))
+	tx.Commit()
+
+	// Fail the DISCPROCESS primary's CPU; the FS retry hides the takeover.
+	primCPU := n.Volumes["v1"].Proc.Pair.PrimaryCPU()
+	n.HW.FailCPU(primCPU)
+	v, err := n.FS.Read("f", "k")
+	if err != nil || string(v) != "v" {
+		t.Errorf("read across takeover = %q, %v", v, err)
+	}
+	tx2, err := n.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Insert("f", "k2", []byte("v2")); err != nil {
+		t.Fatalf("insert after takeover: %v", err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("commit after takeover: %v", err)
+	}
+}
+
+func TestBadPartitionTables(t *testing.T) {
+	sys := oneNode(t)
+	n := sys.Node("alpha")
+	if err := n.FS.Define(fsys.FileInfo{Name: "x"}); !errors.Is(err, fsys.ErrBadPartition) {
+		t.Errorf("err = %v, want ErrBadPartition", err)
+	}
+	bad := encompass.LocalFile("x", encompass.KeySequenced, "alpha", "v1")
+	bad.Partitions[0].LowKey = "z"
+	if err := n.FS.Define(bad); !errors.Is(err, fsys.ErrBadPartition) {
+		t.Errorf("err = %v, want ErrBadPartition", err)
+	}
+	if _, err := n.FS.Read("ghost", "k"); !errors.Is(err, fsys.ErrUnknownFile) {
+		t.Errorf("err = %v, want ErrUnknownFile", err)
+	}
+}
+
+func TestConcurrentTransactionsSeparateKeys(t *testing.T) {
+	sys := oneNode(t)
+	n := sys.Node("alpha")
+	n.FS.Create(encompass.LocalFile("f", encompass.KeySequenced, "alpha", "v1"))
+	const workers = 10
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			tx, err := n.Begin()
+			if err != nil {
+				errs <- err
+				return
+			}
+			key := fmt.Sprintf("k%02d", w)
+			if err := tx.Insert("f", key, []byte("v")); err != nil {
+				errs <- err
+				return
+			}
+			errs <- tx.Commit()
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _ := n.FS.ReadRange("f", "", "", 0)
+	if len(recs) != workers {
+		t.Errorf("records = %d, want %d", len(recs), workers)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := encompass.Build(encompass.Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := encompass.Build(encompass.Config{Nodes: []encompass.NodeSpec{{Name: "x", CPUs: 99}}}); err == nil {
+		t.Error("99 CPUs should fail (paper limit is 16)")
+	}
+}
+
+func TestReadRangeDescAcrossPartitions(t *testing.T) {
+	sys := build(t, encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "a", CPUs: 3, Volumes: []encompass.VolumeSpec{{Name: "va", Audited: true}}},
+			{Name: "b", CPUs: 3, Volumes: []encompass.VolumeSpec{{Name: "vb", Audited: true}}},
+		},
+	})
+	fi := encompass.PartitionedFile("items", encompass.KeySequenced, [][3]string{
+		{"", "a", "va"},
+		{"m", "b", "vb"},
+	})
+	if err := sys.CreateFileEverywhere(fi); err != nil {
+		t.Fatal(err)
+	}
+	a := sys.Node("a")
+	tx, _ := a.Begin()
+	for _, k := range []string{"apple", "kiwi", "mango", "zebra"} {
+		if err := tx.Insert("items", k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := a.FS.ReadRangeDesc("items", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"zebra", "mango", "kiwi", "apple"}
+	if len(recs) != len(want) {
+		t.Fatalf("desc scan = %d recs, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		if recs[i].Key != w {
+			t.Errorf("desc[%d] = %q, want %q", i, recs[i].Key, w)
+		}
+	}
+	// Limit applies across partitions.
+	recs, _ = a.FS.ReadRangeDesc("items", "", "", 2)
+	if len(recs) != 2 || recs[0].Key != "zebra" || recs[1].Key != "mango" {
+		t.Errorf("limited desc = %+v", recs)
+	}
+}

@@ -1,0 +1,103 @@
+// Manufacturing: the paper's Figure-4 application — Tandem
+// Manufacturing's four-facility distributed data base with replicated
+// global files, per-record master nodes, and suspense-file deferred
+// replication. Runs the full partition / autonomy / convergence story.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"encompass"
+	"encompass/internal/mfg"
+)
+
+func main() {
+	var specs []encompass.NodeSpec
+	for _, n := range mfg.DefaultNodes {
+		specs = append(specs, encompass.NodeSpec{
+			Name: n, CPUs: 3,
+			Volumes: []encompass.VolumeSpec{{Name: "v-" + n, Audited: true, CacheSize: 128}},
+		})
+	}
+	// The corporate network ring of Figure 4.
+	links := [][2]string{
+		{"cupertino", "santaclara"},
+		{"santaclara", "reston"},
+		{"reston", "neufahrn"},
+		{"neufahrn", "cupertino"},
+	}
+	sys, err := encompass.Build(encompass.Config{Nodes: specs, Links: links})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := mfg.Install(sys, mfg.DefaultNodes, 10*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Stop()
+	fmt.Println("manufacturing network up: cupertino, santaclara, reston, neufahrn")
+
+	// Seed the Item Master file; item masters live at different plants.
+	must(app.SeedItem("item-master", "cpu-board", "cupertino", "rev-A"))
+	must(app.SeedItem("item-master", "chassis", "neufahrn", "rev-1"))
+	fmt.Println("global records seeded and replicated at all four plants")
+
+	// An update from Reston to a Cupertino-mastered item: the master copy
+	// updates synchronously, replicas follow via the suspense monitor.
+	must(app.UpdateItem("reston", "item-master", "cpu-board", "rev-B"))
+	if app.WaitConverged("item-master", "cpu-board", 5*time.Second) {
+		fmt.Println("cpu-board rev-B converged at every plant")
+	}
+
+	// Partition Neufahrn (transatlantic line down).
+	fmt.Println("\n*** transatlantic link fails: neufahrn partitioned ***")
+	sys.Partition("neufahrn")
+
+	// Local work continues everywhere — node autonomy.
+	for _, n := range mfg.DefaultNodes {
+		must(app.StockMove(n, "widget-7", "25"))
+	}
+	fmt.Println("local stock transactions committed at all plants, including neufahrn")
+
+	// Cupertino-mastered updates keep flowing; deferred updates queue up.
+	must(app.UpdateItem("santaclara", "item-master", "cpu-board", "rev-C"))
+	fmt.Printf("cpu-board updated to rev-C; suspense queue at cupertino: %d deferred update(s)\n",
+		app.SuspenseDepth("cupertino"))
+
+	// Neufahrn updates its own mastered record inside the partition.
+	must(app.UpdateItem("neufahrn", "item-master", "chassis", "rev-2"))
+	fmt.Println("neufahrn updated its chassis record autonomously")
+
+	// Updating a Neufahrn-mastered record from outside fails, by design.
+	if err := app.UpdateItem("reston", "item-master", "chassis", "rev-X"); err != nil {
+		fmt.Printf("reston cannot update neufahrn-mastered record: %v\n", err)
+	}
+
+	// The rejected design would have stopped all global updates:
+	if err := app.UpdateItemSync("cupertino", "item-master", "cpu-board", "sync"); err != nil {
+		fmt.Println("synchronous replication (the rejected design) fails during the partition")
+	}
+
+	// Heal and converge.
+	fmt.Println("\n*** link restored ***")
+	sys.Heal()
+	ok1 := app.WaitConverged("item-master", "cpu-board", 10*time.Second)
+	ok2 := app.WaitConverged("item-master", "chassis", 10*time.Second)
+	fmt.Printf("convergence after heal: cpu-board=%v chassis=%v\n", ok1, ok2)
+	_, p, _ := app.ReadItem("neufahrn", "item-master", "cpu-board")
+	fmt.Printf("neufahrn's copy of cpu-board: %s\n", p)
+	_, p, _ = app.ReadItem("cupertino", "item-master", "chassis")
+	fmt.Printf("cupertino's copy of chassis: %s\n", p)
+
+	st := app.Stats()
+	fmt.Printf("\nstats: master updates=%d, deferred queued=%d applied=%d blocked=%d, local txs=%d\n",
+		st.MasterUpdates, st.DeferredQueued, st.DeferredApplied, st.DeferredBlocked, st.LocalTxns)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

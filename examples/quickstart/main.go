@@ -1,0 +1,82 @@
+// Quickstart: the smallest useful ENCOMPASS program — build a one-node
+// system, create a key-sequenced file, and run a transaction through
+// BEGIN / update / COMMIT, then show abort-with-backout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"encompass"
+)
+
+func main() {
+	// One NonStop node: 4 CPUs, one mirrored audited volume.
+	sys, err := encompass.Build(encompass.Config{
+		Nodes: []encompass.NodeSpec{{
+			Name: "alpha",
+			CPUs: 4,
+			Volumes: []encompass.VolumeSpec{
+				{Name: "data1", Audited: true, CacheSize: 128},
+			},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := sys.Node("alpha")
+
+	// A key-sequenced file with an alternate key on the first 3 bytes
+	// (the "branch" field of the record).
+	err = node.FS.Create(encompass.LocalFile(
+		"accounts", encompass.KeySequenced, "alpha", "data1",
+		encompass.AltKeyDef{Name: "branch", Offset: 0, Len: 3},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// BEGIN-TRANSACTION ... END-TRANSACTION.
+	tx, err := node.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("begun transaction %s\n", tx.ID)
+	must(tx.Insert("accounts", "10001", []byte("NYC alice 100")))
+	must(tx.Insert("accounts", "10002", []byte("SFO bob   250")))
+	must(tx.Commit())
+	fmt.Println("committed: two accounts inserted atomically")
+
+	// Reads are plain; updates require a lock taken at read time.
+	tx2, _ := node.Begin()
+	val, err := tx2.ReadLock("accounts", "10001")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice's record: %q\n", val)
+	must(tx2.Update("accounts", "10001", []byte("NYC alice 175")))
+	must(tx2.Commit())
+
+	// Alternate-key access: all NYC accounts.
+	recs, err := node.FS.ReadByAltKey("accounts", "branch", "NYC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range recs {
+		fmt.Printf("NYC account %s = %q\n", r.Key, r.Val)
+	}
+
+	// Abort: every update is backed out from before-images.
+	tx3, _ := node.Begin()
+	tx3.ReadLock("accounts", "10002")
+	must(tx3.Update("accounts", "10002", []byte("SFO bob   0")))
+	must(tx3.Abort("changed my mind"))
+	v, _ := node.FS.Read("accounts", "10002")
+	fmt.Printf("after abort, bob's record is restored: %q\n", v)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Rollforward: the paper's recovery-from-total-node-failure story as a
+// runnable walk-through. An archive is taken during normal processing,
+// more transactions commit (and one stays uncommitted), both processors
+// hosting every process-pair fail at once, and ROLLFORWARD reconstructs
+// the data base: archive restore plus redo of committed after-images,
+// dirty data discarded.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"encompass"
+)
+
+func main() {
+	sys, err := encompass.Build(encompass.Config{
+		Nodes: []encompass.NodeSpec{{
+			Name: "prod", CPUs: 4,
+			Volumes: []encompass.VolumeSpec{{Name: "db", Audited: true, CacheSize: 256}},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := sys.Node("prod")
+	must(node.FS.Create(encompass.LocalFile("inventory", encompass.KeySequenced, "prod", "db")))
+
+	// Day 1: load some records and take the archive copy — "these copies
+	// can be created during normal transaction processing."
+	for i := 0; i < 5; i++ {
+		tx, _ := node.Begin()
+		must(tx.Insert("inventory", fmt.Sprintf("part-%02d", i), []byte("stock=100")))
+		must(tx.Commit())
+	}
+	arch := node.TakeArchive()
+	fmt.Println("archive taken: 5 parts on file")
+
+	// Day 2: committed work after the archive (must survive) ...
+	for i := 5; i < 8; i++ {
+		tx, _ := node.Begin()
+		must(tx.Insert("inventory", fmt.Sprintf("part-%02d", i), []byte("stock=50")))
+		must(tx.Commit())
+	}
+	fmt.Println("3 more parts committed after the archive")
+
+	// ... and an in-flight transaction that never commits.
+	dirty, _ := node.Begin()
+	must(dirty.Insert("inventory", "part-99", []byte("uncommitted")))
+	fmt.Println("one transaction is still in flight (part-99, uncommitted)")
+
+	// Catastrophe: every processor fails at once. The unforced audit tail
+	// is lost with the AUDITPROCESS memory; the discs may hold dirty data.
+	node.Crash()
+	fmt.Println("\n*** total node failure: all processors down ***")
+
+	st, err := node.Recover(arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ROLLFORWARD: restored %d volume(s), scanned %d image(s), replayed %d, committed tx=%d discarded tx=%d\n",
+		st.VolumesRestored, st.ImagesScanned, st.ImagesReplayed, st.TxCommitted, st.TxDiscarded)
+
+	recs, err := node.FS.ReadRange("inventory", "", "", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered inventory (%d records):\n", len(recs))
+	for _, r := range recs {
+		fmt.Printf("  %s = %s\n", r.Key, r.Val)
+	}
+	if _, err := node.FS.Read("inventory", "part-99"); err != nil {
+		fmt.Println("part-99 (uncommitted) correctly absent")
+	}
+
+	// The recovered node is a normal node: old trail segments below the
+	// archive can be purged, and new work proceeds.
+	segs := node.PurgeAuditTrails(arch)
+	tx, _ := node.Begin()
+	must(tx.Insert("inventory", "part-08", []byte("stock=25")))
+	must(tx.Commit())
+	fmt.Printf("post-recovery commit succeeded; %d trail segment(s) remain after purge\n", segs)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Screencobol: the paper's user-visible programming model. A Screen COBOL
+// program runs under a Terminal Control Process, ACCEPTs a screen, SENDs
+// to an application server class inside a transaction, and survives a TCP
+// processor failure mid-transaction: the backup TCP restarts the program
+// at BEGIN-TRANSACTION with the checkpointed screen input.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"encompass"
+	"encompass/internal/txid"
+)
+
+const transferProgram = `
+PROGRAM transfer.
+WORKING-STORAGE.
+  01 from-acct PIC X(8).
+  01 to-acct PIC X(8).
+  01 amount PIC 9(6).
+  01 status PIC X(32).
+SCREEN transfer-screen.
+  FIELD from-acct.
+  FIELD to-acct.
+  FIELD amount.
+END-SCREEN.
+PROC.
+  DISPLAY "transfer: enter from, to, amount".
+  ACCEPT transfer-screen.
+  BEGIN-TRANSACTION.
+  SEND "transfer" TO SERVER "bank" USING from-acct, to-acct, amount REPLYING status.
+  IF SEND-STATUS = "OK" AND status = "OK" THEN
+    END-TRANSACTION.
+    DISPLAY "transferred ", amount, " from ", from-acct, " to ", to-acct.
+  ELSE
+    RESTART-TRANSACTION.
+  END-IF.
+END-PROC.
+`
+
+func main() {
+	sys, err := encompass.Build(encompass.Config{
+		Nodes: []encompass.NodeSpec{{
+			Name: "alpha", CPUs: 4,
+			Volumes: []encompass.VolumeSpec{{Name: "v1", Audited: true, CacheSize: 128}},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := sys.Node("alpha")
+	must(node.FS.Create(encompass.LocalFile("accounts", encompass.KeySequenced, "alpha", "v1")))
+
+	// Seed two accounts.
+	seed, _ := node.Begin()
+	must(seed.Insert("accounts", "A-1", []byte("500")))
+	must(seed.Insert("accounts", "A-2", []byte("100")))
+	must(seed.Commit())
+
+	// The context-free "transfer" server: read-lock both accounts, move
+	// the money, reply.
+	fs := node.FS
+	_, err = node.StartServerClass(encompass.ServerClassConfig{
+		Class: "bank",
+		Handler: func(tx txid.ID, f map[string]string) (map[string]string, error) {
+			amt, _ := strconv.Atoi(f["AMOUNT"])
+			fromRaw, err := fs.ReadLock(tx, "accounts", f["FROM-ACCT"])
+			if err != nil {
+				return nil, err
+			}
+			toRaw, err := fs.ReadLock(tx, "accounts", f["TO-ACCT"])
+			if err != nil {
+				return nil, err
+			}
+			fromBal, _ := strconv.Atoi(string(fromRaw))
+			toBal, _ := strconv.Atoi(string(toRaw))
+			if fromBal < amt {
+				return map[string]string{"STATUS": "insufficient funds"}, nil
+			}
+			if err := fs.Update(tx, "accounts", f["FROM-ACCT"], []byte(strconv.Itoa(fromBal-amt))); err != nil {
+				return nil, err
+			}
+			if err := fs.Update(tx, "accounts", f["TO-ACCT"], []byte(strconv.Itoa(toBal+amt))); err != nil {
+				return nil, err
+			}
+			return map[string]string{"STATUS": "OK"}, nil
+		},
+	})
+	must(err)
+
+	tcpProc, err := node.StartTCP(encompass.TCPConfig{Name: "tcp1", PrimaryCPU: 2, BackupCPU: 3, MaxRestarts: 5})
+	must(err)
+
+	term, err := tcpProc.Attach("teller-window-1", transferProgram)
+	must(err)
+	fmt.Println("terminal attached; Screen COBOL program running under the TCP")
+
+	term.Input(map[string]string{"from-acct": "A-1", "to-acct": "A-2", "amount": "75"})
+
+	// Fail the TCP's primary processor while the transfer is in flight:
+	// the terminal user notices nothing but a short pause.
+	time.Sleep(5 * time.Millisecond)
+	fmt.Println("*** failing the TCP primary's CPU mid-transaction ***")
+	node.HW.FailCPU(2)
+
+	must(term.Wait(20 * time.Second))
+	for _, line := range term.Outputs() {
+		fmt.Printf("terminal: %s\n", line)
+	}
+
+	a1, _ := node.FS.Read("accounts", "A-1")
+	a2, _ := node.FS.Read("accounts", "A-2")
+	fmt.Printf("final balances: A-1=%s A-2=%s (exactly one transfer applied)\n", a1, a2)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

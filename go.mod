@@ -1,0 +1,3 @@
+module encompass
+
+go 1.22

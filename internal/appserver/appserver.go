@@ -1,0 +1,326 @@
+// Package appserver implements ENCOMPASS application control: classes of
+// context-free application "server" programs with "dynamic creation and
+// deletion of application server processes to ensure good response time
+// and utilization of resources as the workload on the system changes."
+//
+// A server program is "simple and single-threaded: (1) read the
+// transaction request message; (2) perform the data base function
+// requested; (3) reply", retaining no memory between requests. The Handler
+// signature enforces that shape.
+//
+// Each class runs a dispatcher process (the link manager) registered under
+// "svc-<class>". It relays requests to instance processes round-robin,
+// spawning instances up to MaxInstances when all are busy and retiring
+// idle ones down to MinInstances.
+package appserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/txid"
+)
+
+// KindRequest is the message kind carrying application requests.
+const KindRequest = "server.request"
+
+// internal kinds
+const (
+	kindDone = "server.done"
+)
+
+// Req is a transaction request message: the current transid (appended by
+// the File System on every SEND while the terminal is in transaction
+// mode) plus named fields.
+type Req struct {
+	Tx     txid.ID
+	Fields map[string]string
+}
+
+// Resp carries the server's reply fields.
+type Resp struct {
+	Fields map[string]string
+}
+
+func init() {
+	msg.RegisterPayload(Req{})
+	msg.RegisterPayload(Resp{})
+}
+
+// Handler is the application function of a server class. It must be
+// context-free: everything it needs arrives in the request, everything it
+// produces leaves in the reply.
+type Handler func(tx txid.ID, fields map[string]string) (map[string]string, error)
+
+// Config describes a server class.
+type Config struct {
+	Class        string
+	Handler      Handler
+	MinInstances int
+	MaxInstances int
+	// CPUs lists processors to spread instances over; defaults to all.
+	CPUs []int
+}
+
+// Stats counts class activity.
+type Stats struct {
+	Dispatched uint64
+	Created    uint64
+	Retired    uint64
+	Instances  int
+	QueuedPeak uint64
+}
+
+// ClassName returns the registered dispatcher name for a class.
+func ClassName(class string) string { return "svc-" + class }
+
+type instance struct {
+	name string
+	cpu  int
+	busy bool
+}
+
+// Class is a running server class.
+type Class struct {
+	sys *msg.System
+	cfg Config
+
+	dispatched    atomic.Uint64
+	dispatcherCPU atomic.Int64
+	created       atomic.Uint64
+	retired       atomic.Uint64
+	queuedPeak    atomic.Uint64
+	instCount     atomic.Int64
+}
+
+// Start launches the class: its dispatcher and MinInstances servers. The
+// application-control monitor restarts the dispatcher on another CPU if
+// its processor fails; in-flight requests surface as errors to their
+// requesters, whose transactions TMF backs out and restarts — the paper's
+// point that transaction backout makes process-pair application coding
+// unnecessary.
+func Start(sys *msg.System, cfg Config) (*Class, error) {
+	if cfg.Class == "" || cfg.Handler == nil {
+		return nil, errors.New("appserver: class needs a name and a handler")
+	}
+	if cfg.MinInstances <= 0 {
+		cfg.MinInstances = 1
+	}
+	if cfg.MaxInstances < cfg.MinInstances {
+		cfg.MaxInstances = cfg.MinInstances
+	}
+	if len(cfg.CPUs) == 0 {
+		cfg.CPUs = sys.Node().UpCPUs()
+	}
+	c := &Class{sys: sys, cfg: cfg}
+	if err := c.startDispatcher(cfg.CPUs[0]); err != nil {
+		return nil, err
+	}
+	sys.Node().Watch(c.onHWEvent)
+	return c, nil
+}
+
+func (c *Class) startDispatcher(cpu int) error {
+	p, err := c.sys.Spawn(cpu, ClassName(c.cfg.Class), c.dispatcherLoop)
+	if err != nil {
+		return err
+	}
+	c.dispatcherCPU.Store(int64(p.PID().CPU))
+	return nil
+}
+
+// onHWEvent restarts the dispatcher (application-control monitoring) when
+// its processor fails.
+func (c *Class) onHWEvent(e hw.Event) {
+	if e.Kind != hw.EventCPUDown || int64(e.CPU) != c.dispatcherCPU.Load() {
+		return
+	}
+	c.instCount.Store(0)
+	for _, cpu := range c.sys.Node().UpCPUs() {
+		if c.startDispatcher(cpu) == nil {
+			return
+		}
+	}
+}
+
+// Stats returns activity counters.
+func (c *Class) Stats() Stats {
+	return Stats{
+		Dispatched: c.dispatched.Load(),
+		Created:    c.created.Load(),
+		Retired:    c.retired.Load(),
+		Instances:  int(c.instCount.Load()),
+		QueuedPeak: c.queuedPeak.Load(),
+	}
+}
+
+// dispatcherLoop is the link manager: it queues requests and relays each
+// to an idle instance, growing and shrinking the instance pool.
+func (c *Class) dispatcherLoop(p *msg.Process) {
+	var instances []*instance
+	var queue []msg.Message
+	nextCPU := 0
+	seq := 0
+
+	spawn := func() *instance {
+		cpu := c.cfg.CPUs[nextCPU%len(c.cfg.CPUs)]
+		nextCPU++
+		seq++
+		name := fmt.Sprintf("%s#%d", ClassName(c.cfg.Class), seq)
+		inst := &instance{name: name, cpu: cpu}
+		_, err := c.sys.Spawn(cpu, name, func(ip *msg.Process) { c.instanceLoop(ip) })
+		if err != nil {
+			return nil
+		}
+		c.created.Add(1)
+		c.instCount.Add(1)
+		return inst
+	}
+	for i := 0; i < c.cfg.MinInstances; i++ {
+		if inst := spawn(); inst != nil {
+			instances = append(instances, inst)
+		}
+	}
+
+	dispatch := func() {
+		for len(queue) > 0 {
+			var idle *instance
+			for _, in := range instances {
+				if !in.busy {
+					idle = in
+					break
+				}
+			}
+			if idle == nil {
+				if len(instances) < c.cfg.MaxInstances {
+					if inst := spawn(); inst != nil {
+						instances = append(instances, inst)
+						idle = inst
+					}
+				}
+				if idle == nil {
+					return // all busy at max: leave queued
+				}
+			}
+			req := queue[0]
+			queue = queue[1:]
+			// Relay the message unchanged: the instance replies directly
+			// to the original requester via its correlation id.
+			if err := p.Send(msg.Addr{Name: idle.name}, req.Kind, req); err != nil {
+				// Instance unreachable (its CPU died): drop it and retry.
+				instances = removeInst(instances, idle)
+				c.instCount.Add(-1)
+				queue = append([]msg.Message{req}, queue...)
+				continue
+			}
+			idle.busy = true
+			c.dispatched.Add(1)
+		}
+	}
+
+	for {
+		m, err := p.Recv(context.Background())
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case KindRequest:
+			queue = append(queue, m)
+			if q := uint64(len(queue)); q > c.queuedPeak.Load() {
+				c.queuedPeak.Store(q)
+			}
+			dispatch()
+		case kindDone:
+			name := m.Payload.(string)
+			for _, in := range instances {
+				if in.name == name {
+					in.busy = false
+					break
+				}
+			}
+			// Shrink: retire an idle instance when over the minimum and
+			// nothing is waiting.
+			if len(queue) == 0 && len(instances) > c.cfg.MinInstances {
+				for i, in := range instances {
+					if !in.busy && in.name == name {
+						instances = append(instances[:i], instances[i+1:]...)
+						p.Send(msg.Addr{Name: in.name}, "server.retire", nil)
+						c.retired.Add(1)
+						c.instCount.Add(-1)
+						break
+					}
+				}
+			}
+			dispatch()
+		}
+	}
+}
+
+func removeInst(list []*instance, in *instance) []*instance {
+	for i, x := range list {
+		if x == in {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// instanceLoop is one server process: read request, perform the data base
+// function, reply — context-free.
+func (c *Class) instanceLoop(p *msg.Process) {
+	for {
+		m, err := p.Recv(context.Background())
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case "server.retire":
+			return
+		case KindRequest:
+			// The dispatcher wrapped the original message as payload.
+			orig := m.Payload.(msg.Message)
+			req, ok := orig.Payload.(Req)
+			if !ok {
+				p.ReplyErr(orig, errors.New("appserver: malformed request"))
+			} else {
+				fields, err := c.cfg.Handler(req.Tx, req.Fields)
+				if err != nil {
+					p.ReplyErr(orig, err)
+				} else {
+					p.Reply(orig, Resp{Fields: fields})
+				}
+			}
+			p.Send(msg.Addr{Name: ClassName(c.cfg.Class)}, kindDone, p.Name())
+		}
+	}
+}
+
+// Call sends a transaction request to a server class (possibly on another
+// node) and returns the reply fields.
+func Call(ctx context.Context, sys *msg.System, fromCPU int, node, class string, tx txid.ID, fields map[string]string) (map[string]string, error) {
+	addr := msg.Addr{Name: ClassName(class)}
+	if node != "" && node != sys.Node().Name() {
+		addr.Node = node
+	}
+	r, err := sys.ClientCall(ctx, fromCPU, addr, KindRequest, Req{Tx: tx, Fields: fields})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := r.Payload.(Resp)
+	if !ok {
+		return nil, errors.New("appserver: malformed reply")
+	}
+	return resp.Fields, nil
+}
+
+// CallTimeout is a convenience wrapper with a deadline.
+func CallTimeout(sys *msg.System, fromCPU int, node, class string, tx txid.ID, fields map[string]string, d time.Duration) (map[string]string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return Call(ctx, sys, fromCPU, node, class, tx, fields)
+}

@@ -1,0 +1,283 @@
+package audit
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/txid"
+)
+
+func tx(n uint64) txid.ID { return txid.ID{Home: "n", CPU: 0, Seq: n} }
+
+func img(t txid.ID, key string, kind ImageKind) Image {
+	return Image{Tx: t, Volume: "v1", File: "f", Key: key, Kind: kind, Before: []byte("b"), After: []byte("a")}
+}
+
+func TestTrailAppendAssignsLSNs(t *testing.T) {
+	tr := NewTrail("a1", 0)
+	l1 := tr.Append(img(tx(1), "k1", ImageInsert))
+	l2 := tr.Append(img(tx(1), "k2", ImageUpdate))
+	if l1 != 1 || l2 != 2 {
+		t.Errorf("LSNs = %d, %d; want 1, 2", l1, l2)
+	}
+	if tr.AppendedLSN() != 2 {
+		t.Errorf("AppendedLSN = %d", tr.AppendedLSN())
+	}
+}
+
+func TestForceSemantics(t *testing.T) {
+	tr := NewTrail("a1", 0)
+	l1 := tr.Append(img(tx(1), "k1", ImageInsert))
+	if tr.Forced(l1) {
+		t.Error("unforced record reported durable")
+	}
+	tr.Force(l1)
+	if !tr.Forced(l1) {
+		t.Error("forced record not durable")
+	}
+	if tr.ForceCount() != 1 {
+		t.Errorf("ForceCount = %d, want 1", tr.ForceCount())
+	}
+	// Forcing an already-durable prefix is free.
+	tr.Force(l1)
+	if tr.ForceCount() != 1 {
+		t.Errorf("ForceCount after redundant force = %d, want 1", tr.ForceCount())
+	}
+}
+
+func TestForceDelayCharged(t *testing.T) {
+	tr := NewTrail("a1", 5*time.Millisecond)
+	l := tr.Append(img(tx(1), "k", ImageInsert))
+	start := time.Now()
+	tr.Force(l)
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("force did not pay the simulated disc latency")
+	}
+	start = time.Now()
+	tr.Force(l) // no-op: already durable
+	if time.Since(start) > 3*time.Millisecond {
+		t.Error("redundant force paid latency")
+	}
+}
+
+func TestImagesFor(t *testing.T) {
+	tr := NewTrail("a1", 0)
+	tr.Append(img(tx(1), "k1", ImageInsert))
+	tr.Append(img(tx(2), "k2", ImageInsert))
+	tr.Append(img(tx(1), "k3", ImageDelete))
+	// Durable scan sees nothing yet.
+	if got := tr.ImagesFor(tx(1)); len(got) != 0 {
+		t.Errorf("durable images before force = %d, want 0", len(got))
+	}
+	// Unforced scan sees both, in order.
+	got := tr.ImagesForUnforced(tx(1))
+	if len(got) != 2 || got[0].Key != "k1" || got[1].Key != "k3" {
+		t.Errorf("unforced images = %+v", got)
+	}
+	tr.ForceAll()
+	got = tr.ImagesFor(tx(1))
+	if len(got) != 2 {
+		t.Errorf("durable images after force = %d, want 2", len(got))
+	}
+}
+
+func TestImagesFromAndTrim(t *testing.T) {
+	tr := NewTrail("a1", 0)
+	var lsns []uint64
+	for i := 0; i < 10000; i++ {
+		lsns = append(lsns, tr.Append(img(tx(1), "k", ImageUpdate)))
+	}
+	tr.ForceAll()
+	if segs := tr.Segments(); len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+	got, err := tr.ImagesFrom(lsns[5000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5000 {
+		t.Errorf("ImagesFrom = %d images, want 5000", len(got))
+	}
+	tr.TrimBefore(lsns[5000])
+	if _, err := tr.ImagesFrom(1); !errors.Is(err, ErrTrimmed) {
+		t.Errorf("scan of purged range err = %v, want ErrTrimmed", err)
+	}
+	// The requested suffix must still be available.
+	got, err = tr.ImagesFrom(lsns[5000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5000 {
+		t.Errorf("post-trim suffix = %d images, want 5000", len(got))
+	}
+}
+
+func TestMonitorTrailCommitPoint(t *testing.T) {
+	m := NewMonitorTrail(0)
+	if _, ok := m.OutcomeOf(tx(1)); ok {
+		t.Error("unknown tx has outcome")
+	}
+	if got := m.Append(tx(1), OutcomeCommitted); got != OutcomeCommitted {
+		t.Errorf("Append = %v", got)
+	}
+	o, ok := m.OutcomeOf(tx(1))
+	if !ok || o != OutcomeCommitted {
+		t.Errorf("OutcomeOf = %v, %v", o, ok)
+	}
+	// First recorded outcome wins: a disposition never changes.
+	if got := m.Append(tx(1), OutcomeAborted); got != OutcomeCommitted {
+		t.Errorf("re-append returned %v, want committed (first wins)", got)
+	}
+	m.Append(tx(2), OutcomeAborted)
+	committed := m.Committed()
+	if len(committed) != 1 || committed[0] != tx(1) {
+		t.Errorf("Committed = %v", committed)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestAuditProcessRoundTrip(t *testing.T) {
+	node, err := hw.NewNode("n", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := msg.NewSystem(node)
+	trail := NewTrail("a1", 0)
+	if _, err := StartProcess(sys, "audit-1", 0, 1, trail); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(sys, "audit-1")
+	last, err := cl.Append(2, []Image{img(tx(9), "k1", ImageInsert), img(tx(9), "k2", ImageUpdate)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 2 {
+		t.Errorf("last LSN = %d, want 2", last)
+	}
+	if err := cl.Force(2, last); err != nil {
+		t.Fatal(err)
+	}
+	if !trail.Forced(last) {
+		t.Error("trail not forced via process")
+	}
+	imgs, err := cl.Scan(2, tx(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 2 {
+		t.Errorf("scan = %d images, want 2", len(imgs))
+	}
+}
+
+func TestAuditProcessSurvivesPrimaryFailure(t *testing.T) {
+	node, _ := hw.NewNode("n", 3)
+	sys := msg.NewSystem(node)
+	trail := NewTrail("a1", 0)
+	if _, err := StartProcess(sys, "audit-1", 0, 1, trail); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(sys, "audit-1")
+	if _, err := cl.Append(2, []Image{img(tx(1), "k", ImageInsert)}); err != nil {
+		t.Fatal(err)
+	}
+	node.FailCPU(0)
+	// The backup serves the same trail: nothing is lost.
+	last, err := cl.Append(2, []Image{img(tx(1), "k2", ImageInsert)})
+	if err != nil {
+		t.Fatalf("append after takeover: %v", err)
+	}
+	if last != 2 {
+		t.Errorf("LSN continuity broken: %d", last)
+	}
+	imgs, err := cl.Scan(2, tx(1))
+	if err != nil || len(imgs) != 2 {
+		t.Errorf("scan after takeover = %d images, %v", len(imgs), err)
+	}
+}
+
+func TestTrailConcurrentAppendsAssignUniqueLSNs(t *testing.T) {
+	tr := NewTrail("a1", 0)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	lsns := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				lsns[w] = append(lsns[w], tr.Append(img(tx(uint64(w+1)), "k", ImageUpdate)))
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, ws := range lsns {
+		prev := uint64(0)
+		for _, l := range ws {
+			if seen[l] {
+				t.Fatalf("duplicate LSN %d", l)
+			}
+			seen[l] = true
+			if l <= prev {
+				t.Fatalf("per-writer LSNs not increasing: %d after %d", l, prev)
+			}
+			prev = l
+		}
+	}
+	if got := tr.AppendedLSN(); got != workers*perWorker {
+		t.Errorf("AppendedLSN = %d, want %d", got, workers*perWorker)
+	}
+	// Per-transaction scans see each writer's records in order.
+	tr.ForceAll()
+	for w := 0; w < workers; w++ {
+		imgs := tr.ImagesFor(tx(uint64(w + 1)))
+		if len(imgs) != perWorker {
+			t.Fatalf("worker %d images = %d", w, len(imgs))
+		}
+		for i := 1; i < len(imgs); i++ {
+			if imgs[i].LSN <= imgs[i-1].LSN {
+				t.Fatalf("scan out of order for worker %d", w)
+			}
+		}
+	}
+}
+
+func TestMonitorTrailConcurrentFirstOutcomeWins(t *testing.T) {
+	m := NewMonitorTrail(0)
+	const writers = 16
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := OutcomeCommitted
+			if w%2 == 1 {
+				o = OutcomeAborted
+			}
+			outcomes[w] = m.Append(tx(7), o)
+		}()
+	}
+	wg.Wait()
+	want, ok := m.OutcomeOf(tx(7))
+	if !ok {
+		t.Fatal("no outcome recorded")
+	}
+	for w, got := range outcomes {
+		if got != want {
+			t.Errorf("writer %d observed %v, want the single winning outcome %v", w, got, want)
+		}
+	}
+	if m.Len() != 1 {
+		t.Errorf("MAT records = %d, want 1", m.Len())
+	}
+}

@@ -1,0 +1,149 @@
+package audit
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"encompass/internal/msg"
+	"encompass/internal/pair"
+	"encompass/internal/txid"
+)
+
+// Message kinds served by the AUDITPROCESS.
+const (
+	KindAppend = "audit.append"
+	KindForce  = "audit.force"
+	KindScan   = "audit.scan"
+)
+
+// AppendReq carries a batch of images from a DISCPROCESS.
+type AppendReq struct {
+	Images []Image
+}
+
+// AppendResp returns the last assigned LSN.
+type AppendResp struct {
+	LastLSN uint64
+}
+
+// ForceReq write-forces a transaction's images (phase one of commit).
+type ForceReq struct {
+	UpTo uint64 // 0 means force everything appended
+}
+
+// ScanReq asks for a transaction's images (backout path).
+type ScanReq struct {
+	Tx txid.ID
+}
+
+// ScanResp returns the transaction's images in LSN order.
+type ScanResp struct {
+	Images []Image
+}
+
+func init() {
+	msg.RegisterPayload(AppendReq{})
+	msg.RegisterPayload(AppendResp{})
+	msg.RegisterPayload(ForceReq{})
+	msg.RegisterPayload(ScanReq{})
+	msg.RegisterPayload(ScanResp{})
+	msg.RegisterPayload(Image{})
+}
+
+// processApp is the AUDITPROCESS pair application. Its durable state is
+// the Trail itself (which lives on a mirrored audit volume), so checkpoints
+// carry nothing and takeover is trivial: both members share the trail,
+// exactly as both halves of a disc process-pair share the physical disc.
+type processApp struct {
+	trail *Trail
+}
+
+func (a *processApp) Handle(ctx *pair.Ctx, m msg.Message) {
+	switch m.Kind {
+	case KindAppend:
+		req := m.Payload.(AppendReq)
+		last := a.trail.AppendBatch(req.Images)
+		ctx.Reply(AppendResp{LastLSN: last})
+	case KindForce:
+		req := m.Payload.(ForceReq)
+		if req.UpTo == 0 {
+			a.trail.ForceAll()
+		} else {
+			a.trail.Force(req.UpTo)
+		}
+		ctx.Reply(nil)
+	case KindScan:
+		req := m.Payload.(ScanReq)
+		ctx.Reply(ScanResp{Images: a.trail.ImagesForUnforced(req.Tx)})
+	default:
+		ctx.ReplyErr(fmt.Errorf("audit: unknown request kind %q", m.Kind))
+	}
+}
+
+func (a *processApp) ApplyCheckpoint(any) {}
+func (a *processApp) Snapshot() any       { return nil }
+func (a *processApp) Restore(any)         {}
+func (a *processApp) TakeOver()           {}
+
+// Process is a running AUDITPROCESS: the pair plus its trail.
+type Process struct {
+	Pair  *pair.Pair
+	Trail *Trail
+}
+
+// StartProcess launches an AUDITPROCESS pair serving the given trail under
+// the given name.
+func StartProcess(sys *msg.System, name string, primaryCPU, backupCPU int, trail *Trail) (*Process, error) {
+	p, err := pair.Start(sys, name, primaryCPU, backupCPU, func() pair.App {
+		return &processApp{trail: trail}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Process{Pair: p, Trail: trail}, nil
+}
+
+// Client is a DISCPROCESS-side handle for talking to an AUDITPROCESS.
+type Client struct {
+	sys  *msg.System
+	addr msg.Addr
+}
+
+// NewClient creates a handle addressing the named AUDITPROCESS on the
+// local node.
+func NewClient(sys *msg.System, name string) *Client {
+	return &Client{sys: sys, addr: msg.Addr{Name: name}}
+}
+
+const callTimeout = 5 * time.Second
+
+func (c *Client) call(fromCPU int, kind string, payload any) (msg.Message, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), callTimeout)
+	defer cancel()
+	return c.sys.ClientCall(ctx, fromCPU, c.addr, kind, payload)
+}
+
+// Append ships a batch of images, returning the last LSN.
+func (c *Client) Append(fromCPU int, imgs []Image) (uint64, error) {
+	r, err := c.call(fromCPU, KindAppend, AppendReq{Images: imgs})
+	if err != nil {
+		return 0, err
+	}
+	return r.Payload.(AppendResp).LastLSN, nil
+}
+
+// Force write-forces the trail up to the given LSN (0 = everything).
+func (c *Client) Force(fromCPU int, upTo uint64) error {
+	_, err := c.call(fromCPU, KindForce, ForceReq{UpTo: upTo})
+	return err
+}
+
+// Scan fetches a transaction's images.
+func (c *Client) Scan(fromCPU int, tx txid.ID) ([]Image, error) {
+	r, err := c.call(fromCPU, KindScan, ScanReq{Tx: tx})
+	if err != nil {
+		return nil, err
+	}
+	return r.Payload.(ScanResp).Images, nil
+}

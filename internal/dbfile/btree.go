@@ -1,0 +1,410 @@
+// B-tree implementation backing key-sequenced file organizations and
+// alternate-key indices. ENCOMPASS key-sequenced files are B-tree
+// structured with the index maintained on every update; this is an
+// in-memory equivalent with ordered range scans.
+package dbfile
+
+import "sort"
+
+// minDegree is the B-tree minimum degree t: every node except the root has
+// at least t-1 and at most 2t-1 keys.
+const minDegree = 16
+
+// Tree is an ordered map from string keys to byte-slice values.
+type Tree struct {
+	root *bnode
+	size int
+}
+
+type bnode struct {
+	keys     []string
+	vals     [][]byte
+	children []*bnode // nil for leaves
+}
+
+func (n *bnode) leaf() bool { return n.children == nil }
+
+// NewTree creates an empty tree.
+func NewTree() *Tree { return &Tree{root: &bnode{}} }
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.size }
+
+// search finds key's position in node n: index and whether it matched.
+func (n *bnode) search(key string) (int, bool) {
+	i := sort.SearchStrings(n.keys, key)
+	return i, i < len(n.keys) && n.keys[i] == key
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key string) ([]byte, bool) {
+	n := t.root
+	for {
+		i, ok := n.search(key)
+		if ok {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key string) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Put inserts or replaces key's value and reports whether the key was
+// newly inserted.
+func (t *Tree) Put(key string, val []byte) bool {
+	r := t.root
+	if len(r.keys) == 2*minDegree-1 {
+		newRoot := &bnode{children: []*bnode{r}}
+		newRoot.splitChild(0)
+		t.root = newRoot
+	}
+	inserted := t.root.insertNonFull(key, val)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// splitChild splits the full child at index i of n.
+func (n *bnode) splitChild(i int) {
+	child := n.children[i]
+	mid := minDegree - 1
+	right := &bnode{
+		keys: append([]string(nil), child.keys[mid+1:]...),
+		vals: append([][]byte(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*bnode(nil), child.children[mid+1:]...)
+	}
+	upKey, upVal := child.keys[mid], child.vals[mid]
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+	if !child.leaf() {
+		child.children = child.children[:mid+1]
+	}
+
+	n.keys = append(n.keys, "")
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = upKey
+	n.vals = append(n.vals, nil)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = upVal
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *bnode) insertNonFull(key string, val []byte) bool {
+	i, ok := n.search(key)
+	if ok {
+		n.vals[i] = val
+		return false
+	}
+	if n.leaf() {
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return true
+	}
+	if len(n.children[i].keys) == 2*minDegree-1 {
+		n.splitChild(i)
+		if key == n.keys[i] {
+			n.vals[i] = val
+			return false
+		}
+		if key > n.keys[i] {
+			i++
+		}
+	}
+	return n.children[i].insertNonFull(key, val)
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key string) bool {
+	if !t.root.has(key) {
+		return false
+	}
+	t.root.delete(key)
+	if len(t.root.keys) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+func (n *bnode) has(key string) bool {
+	i, ok := n.search(key)
+	if ok {
+		return true
+	}
+	if n.leaf() {
+		return false
+	}
+	return n.children[i].has(key)
+}
+
+// delete removes key from the subtree rooted at n. Precondition: key is
+// present in the subtree and n has at least minDegree keys unless it is
+// the root (CLRS deletion invariant).
+func (n *bnode) delete(key string) {
+	i, ok := n.search(key)
+	switch {
+	case ok && n.leaf():
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	case ok:
+		left, right := n.children[i], n.children[i+1]
+		switch {
+		case len(left.keys) >= minDegree:
+			pk, pv := left.maxEntry()
+			n.keys[i], n.vals[i] = pk, pv
+			left.delete(pk)
+		case len(right.keys) >= minDegree:
+			sk, sv := right.minEntry()
+			n.keys[i], n.vals[i] = sk, sv
+			right.delete(sk)
+		default:
+			n.merge(i)
+			left.delete(key)
+		}
+	default:
+		child := n.children[i]
+		if len(child.keys) == minDegree-1 {
+			i = n.fill(i)
+			child = n.children[i]
+		}
+		child.delete(key)
+	}
+}
+
+// fill ensures child i has at least minDegree keys, borrowing or merging.
+// It returns the (possibly changed) child index to descend into.
+func (n *bnode) fill(i int) int {
+	if i > 0 && len(n.children[i-1].keys) >= minDegree {
+		n.borrowLeft(i)
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].keys) >= minDegree {
+		n.borrowRight(i)
+		return i
+	}
+	if i == len(n.children)-1 {
+		n.merge(i - 1)
+		return i - 1
+	}
+	n.merge(i)
+	return i
+}
+
+func (n *bnode) borrowLeft(i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.keys = append([]string{n.keys[i-1]}, child.keys...)
+	child.vals = append([][]byte{n.vals[i-1]}, child.vals...)
+	if !child.leaf() {
+		child.children = append([]*bnode{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+	n.keys[i-1] = left.keys[len(left.keys)-1]
+	n.vals[i-1] = left.vals[len(left.vals)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	left.vals = left.vals[:len(left.vals)-1]
+}
+
+func (n *bnode) borrowRight(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	if !child.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = right.children[1:]
+	}
+	n.keys[i] = right.keys[0]
+	n.vals[i] = right.vals[0]
+	right.keys = right.keys[1:]
+	right.vals = right.vals[1:]
+}
+
+// merge folds child i+1 and separator key i into child i.
+func (n *bnode) merge(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.vals = append(left.vals, n.vals[i])
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, right.vals...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func (n *bnode) minEntry() (string, []byte) {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+func (n *bnode) maxEntry() (string, []byte) {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+}
+
+// Min returns the smallest key, or "" if empty.
+func (t *Tree) Min() (string, bool) {
+	if t.size == 0 {
+		return "", false
+	}
+	k, _ := t.root.minEntry()
+	return k, true
+}
+
+// Max returns the largest key, or "" if empty.
+func (t *Tree) Max() (string, bool) {
+	if t.size == 0 {
+		return "", false
+	}
+	k, _ := t.root.maxEntry()
+	return k, true
+}
+
+// AscendRange visits keys in [lo, hi) in order. An empty hi means
+// unbounded. fn returning false stops the scan.
+func (t *Tree) AscendRange(lo, hi string, fn func(key string, val []byte) bool) {
+	t.root.ascend(lo, hi, fn)
+}
+
+func (n *bnode) ascend(lo, hi string, fn func(string, []byte) bool) bool {
+	i := sort.SearchStrings(n.keys, lo)
+	for ; i < len(n.keys); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(lo, hi, fn) {
+				return false
+			}
+		}
+		if hi != "" && n.keys[i] >= hi {
+			return false
+		}
+		if n.keys[i] >= lo {
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(lo, hi, fn)
+	}
+	return true
+}
+
+// DescendRange visits keys in [lo, hi) in REVERSE order. An empty hi means
+// unbounded. fn returning false stops the scan.
+func (t *Tree) DescendRange(lo, hi string, fn func(key string, val []byte) bool) {
+	t.root.descend(lo, hi, fn)
+}
+
+func (n *bnode) descend(lo, hi string, fn func(string, []byte) bool) bool {
+	// Walk keys high to low, visiting each key's right subtree first.
+	// Keys at or above hi are filtered individually; once a key drops
+	// below lo, everything further left is below lo too and the scan
+	// stops.
+	for i := len(n.keys) - 1; i >= -1; i-- {
+		if !n.leaf() {
+			if !n.children[i+1].descend(lo, hi, fn) {
+				return false
+			}
+		}
+		if i < 0 {
+			break
+		}
+		k := n.keys[i]
+		if hi != "" && k >= hi {
+			continue
+		}
+		if k < lo {
+			return false
+		}
+		if !fn(k, n.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys returns all keys in order.
+func (t *Tree) Keys() []string {
+	out := make([]string, 0, t.size)
+	t.AscendRange("", "", func(k string, _ []byte) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// depth returns the tree height (root = 1), for structural tests.
+func (t *Tree) depth() int {
+	d := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		d++
+	}
+	return d
+}
+
+// checkInvariants validates B-tree structural invariants, for tests. It
+// returns a description of the first violation, or "".
+func (t *Tree) checkInvariants() string {
+	return t.root.check(true, "", "")
+}
+
+func (n *bnode) check(isRoot bool, lo, hi string) string {
+	if !isRoot && len(n.keys) < minDegree-1 {
+		return "underfull node"
+	}
+	if len(n.keys) > 2*minDegree-1 {
+		return "overfull node"
+	}
+	for i := 0; i < len(n.keys); i++ {
+		if i > 0 && n.keys[i-1] >= n.keys[i] {
+			return "keys out of order"
+		}
+		if lo != "" && n.keys[i] <= lo {
+			return "key below subtree bound"
+		}
+		if hi != "" && n.keys[i] >= hi {
+			return "key above subtree bound"
+		}
+	}
+	if n.leaf() {
+		return ""
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return "child count mismatch"
+	}
+	for i, c := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			chi = n.keys[i]
+		}
+		if s := c.check(false, clo, chi); s != "" {
+			return s
+		}
+	}
+	return ""
+}

@@ -1,0 +1,312 @@
+package dbfile
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeBasicOps(t *testing.T) {
+	tr := NewTree()
+	if tr.Len() != 0 {
+		t.Fatal("fresh tree not empty")
+	}
+	if !tr.Put("b", []byte("2")) {
+		t.Error("insert should report new key")
+	}
+	if tr.Put("b", []byte("22")) {
+		t.Error("replace should not report new key")
+	}
+	v, ok := tr.Get("b")
+	if !ok || string(v) != "22" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if _, ok := tr.Get("zz"); ok {
+		t.Error("Get of absent key returned ok")
+	}
+	if !tr.Delete("b") {
+		t.Error("delete should report presence")
+	}
+	if tr.Delete("b") {
+		t.Error("double delete should report absence")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting everything", tr.Len())
+	}
+}
+
+func TestTreeOrderedIteration(t *testing.T) {
+	tr := NewTree()
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, i := range perm {
+		tr.Put(fmt.Sprintf("k%04d", i), []byte{byte(i)})
+	}
+	keys := tr.Keys()
+	if len(keys) != 500 {
+		t.Fatalf("Len = %d, want 500", len(keys))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("keys not in order")
+	}
+	if s := tr.checkInvariants(); s != "" {
+		t.Errorf("invariant violated: %s", s)
+	}
+	if tr.depth() < 2 {
+		t.Error("500 keys should exceed one node")
+	}
+}
+
+func TestTreeRangeScan(t *testing.T) {
+	tr := NewTree()
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("k%03d", i), nil)
+	}
+	var got []string
+	tr.AscendRange("k010", "k015", func(k string, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"k010", "k011", "k012", "k013", "k014"}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+	// Unbounded hi.
+	count := 0
+	tr.AscendRange("k095", "", func(string, []byte) bool { count++; return true })
+	if count != 5 {
+		t.Errorf("unbounded scan = %d, want 5", count)
+	}
+	// Early stop.
+	count = 0
+	tr.AscendRange("", "", func(string, []byte) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early-stop scan = %d, want 3", count)
+	}
+}
+
+func TestTreeMinMax(t *testing.T) {
+	tr := NewTree()
+	if _, ok := tr.Min(); ok {
+		t.Error("Min of empty tree returned ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max of empty tree returned ok")
+	}
+	for _, k := range []string{"m", "a", "z", "q"} {
+		tr.Put(k, nil)
+	}
+	if k, _ := tr.Min(); k != "a" {
+		t.Errorf("Min = %q", k)
+	}
+	if k, _ := tr.Max(); k != "z" {
+		t.Errorf("Max = %q", k)
+	}
+}
+
+func TestTreeDeleteStressAgainstReference(t *testing.T) {
+	tr := NewTree()
+	ref := make(map[string]string)
+	rng := rand.New(rand.NewSource(42))
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("key-%03d", rng.Intn(400))
+		switch rng.Intn(3) {
+		case 0, 1:
+			val := fmt.Sprintf("v%d", i)
+			tr.Put(key, []byte(val))
+			ref[key] = val
+		case 2:
+			wantPresent := false
+			if _, ok := ref[key]; ok {
+				wantPresent = true
+				delete(ref, key)
+			}
+			if got := tr.Delete(key); got != wantPresent {
+				t.Fatalf("op %d: Delete(%q) = %v, want %v", i, key, got, wantPresent)
+			}
+		}
+		if i%1000 == 0 {
+			if s := tr.checkInvariants(); s != "" {
+				t.Fatalf("op %d: invariant violated: %s", i, s)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || string(got) != v {
+			t.Fatalf("Get(%q) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	if s := tr.checkInvariants(); s != "" {
+		t.Fatalf("final invariant violated: %s", s)
+	}
+}
+
+// TestTreeQuickProperty: for any sequence of keys, inserting then iterating
+// yields the sorted unique set, and membership matches a reference map.
+func TestTreeQuickProperty(t *testing.T) {
+	prop := func(keys []string, deletions []uint8) bool {
+		tr := NewTree()
+		ref := make(map[string]bool)
+		for _, k := range keys {
+			tr.Put(k, []byte(k))
+			ref[k] = true
+		}
+		// Delete a pseudo-random subset.
+		for i, d := range deletions {
+			if len(keys) == 0 {
+				break
+			}
+			k := keys[(int(d)+i)%len(keys)]
+			if ref[k] {
+				if !tr.Delete(k) {
+					return false
+				}
+				delete(ref, k)
+			} else if tr.Delete(k) {
+				return false
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if s := tr.checkInvariants(); s != "" {
+			return false
+		}
+		got := tr.Keys()
+		want := make([]string, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+			v, ok := tr.Get(got[i])
+			if !ok || string(v) != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeLargeSequentialInsertDelete(t *testing.T) {
+	tr := NewTree()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Put(fmt.Sprintf("%08d", i), []byte{1})
+	}
+	if s := tr.checkInvariants(); s != "" {
+		t.Fatalf("after inserts: %s", s)
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(fmt.Sprintf("%08d", i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after full delete", tr.Len())
+	}
+	if s := tr.checkInvariants(); s != "" {
+		t.Fatalf("after deletes: %s", s)
+	}
+}
+
+func BenchmarkTreePut(b *testing.B) {
+	tr := NewTree()
+	for i := 0; i < b.N; i++ {
+		tr.Put(fmt.Sprintf("%012d", i%100000), []byte("value"))
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := NewTree()
+	for i := 0; i < 100000; i++ {
+		tr.Put(fmt.Sprintf("%012d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(fmt.Sprintf("%012d", i%100000))
+	}
+}
+
+func TestTreeDescendRange(t *testing.T) {
+	tr := NewTree()
+	for i := 0; i < 200; i++ {
+		tr.Put(fmt.Sprintf("k%03d", i), []byte{byte(i)})
+	}
+	var got []string
+	tr.DescendRange("k010", "k015", func(k string, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"k014", "k013", "k012", "k011", "k010"}
+	if len(got) != len(want) {
+		t.Fatalf("descend = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("descend = %v, want %v", got, want)
+		}
+	}
+	// Unbounded hi scans from the top; early stop works.
+	count := 0
+	tr.DescendRange("", "", func(k string, _ []byte) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early-stop descend = %d", count)
+	}
+	var first string
+	tr.DescendRange("", "", func(k string, _ []byte) bool { first = k; return false })
+	if first != "k199" {
+		t.Errorf("descend started at %q, want k199", first)
+	}
+}
+
+// Property: DescendRange visits exactly the reverse of AscendRange for any
+// bounds over a deterministic tree.
+func TestDescendMirrorsAscendQuick(t *testing.T) {
+	tr := NewTree()
+	for i := 0; i < 500; i++ {
+		tr.Put(fmt.Sprintf("%04d", i*7%500), nil)
+	}
+	prop := func(loN, hiN uint16) bool {
+		lo := fmt.Sprintf("%04d", loN%600)
+		hi := fmt.Sprintf("%04d", hiN%600)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		var up, down []string
+		tr.AscendRange(lo, hi, func(k string, _ []byte) bool { up = append(up, k); return true })
+		tr.DescendRange(lo, hi, func(k string, _ []byte) bool { down = append(down, k); return true })
+		if len(up) != len(down) {
+			return false
+		}
+		for i := range up {
+			if up[i] != down[len(down)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+// LRU record cache ("a cache buffering scheme designed to keep the most
+// recently referenced blocks of data in main memory", feature 6 of the
+// ENCOMPASS data base manager). The DISCPROCESS consults the cache before
+// paying the simulated disc-read cost.
+package dbfile
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 with no traffic.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// Cache is a fixed-capacity LRU cache of records keyed by "file\x00key".
+// It is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+	stats    CacheStats
+}
+
+// NewCache creates a cache holding up to capacity records; capacity <= 0
+// disables caching (every lookup misses).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// CacheKey builds a cache key from file and record key.
+func CacheKey(file, key string) string { return file + "\x00" + key }
+
+// Get returns the cached value and whether it was present.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		c.stats.Misses++
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a value, evicting the least recently used record if full.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		if back != nil {
+			c.order.Remove(back)
+			delete(c.items, back.Value.(*cacheEntry).key)
+			c.stats.Evictions++
+		}
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// Invalidate drops one record.
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Len returns the number of cached records.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,103 @@
+package dbfile
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", []byte("1"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "1" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRatio() != 0.5 {
+		t.Errorf("HitRatio = %f", st.HitRatio())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a") // a is now most recently used
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should be evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("a", []byte("2"))
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	v, _ := c.Get("a")
+	if string(v) != "2" {
+		t.Errorf("value = %q", v)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(4)
+	c.Put("a", []byte("1"))
+	c.Invalidate("a")
+	if _, ok := c.Get("a"); ok {
+		t.Error("invalidated entry still present")
+	}
+	c.Invalidate("absent") // no panic
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", []byte("1"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Error("disabled cache stored data")
+	}
+}
+
+func TestCacheKeyFormat(t *testing.T) {
+	if CacheKey("f", "k") == CacheKey("fk", "") {
+		t.Error("cache keys must be unambiguous")
+	}
+}
+
+func TestCacheHitRatioRisesWithCapacity(t *testing.T) {
+	// Zipf-ish access pattern: small cache misses more than large cache.
+	run := func(capacity int) float64 {
+		c := NewCache(capacity)
+		for i := 0; i < 10000; i++ {
+			key := fmt.Sprintf("k%d", i%100)
+			if _, ok := c.Get(key); !ok {
+				c.Put(key, []byte("v"))
+			}
+		}
+		return c.Stats().HitRatio()
+	}
+	small, large := run(10), run(100)
+	if large <= small {
+		t.Errorf("hit ratio: capacity 100 = %.3f should exceed capacity 10 = %.3f", large, small)
+	}
+}

@@ -1,0 +1,154 @@
+// Data and index compression ("data and index compression", feature 3 of
+// the ENCOMPASS data base manager). Key runs are prefix-compressed the way
+// key-sequenced blocks were on disc: each key after the first is encoded as
+// (shared-prefix length, suffix). The codec is used when serializing file
+// contents for archives and for the cache's block-size accounting.
+package dbfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorruptBlock reports an undecodable compressed block.
+var ErrCorruptBlock = errors.New("dbfile: corrupt compressed block")
+
+// CompressKeys prefix-compresses an ordered run of keys.
+func CompressKeys(keys []string) []byte {
+	var out []byte
+	prev := ""
+	out = binary.AppendUvarint(out, uint64(len(keys)))
+	for _, k := range keys {
+		shared := sharedPrefixLen(prev, k)
+		out = binary.AppendUvarint(out, uint64(shared))
+		out = binary.AppendUvarint(out, uint64(len(k)-shared))
+		out = append(out, k[shared:]...)
+		prev = k
+	}
+	return out
+}
+
+// DecompressKeys reverses CompressKeys.
+func DecompressKeys(b []byte) ([]string, error) {
+	n, off, err := readUvarint(b, 0)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, n)
+	prev := ""
+	for i := uint64(0); i < n; i++ {
+		var shared, suffix uint64
+		shared, off, err = readUvarint(b, off)
+		if err != nil {
+			return nil, err
+		}
+		suffix, off, err = readUvarint(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if shared > uint64(len(prev)) || off+int(suffix) > len(b) {
+			return nil, ErrCorruptBlock
+		}
+		k := prev[:shared] + string(b[off:off+int(suffix)])
+		off += int(suffix)
+		keys = append(keys, k)
+		prev = k
+	}
+	return keys, nil
+}
+
+func sharedPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func readUvarint(b []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, 0, ErrCorruptBlock
+	}
+	return v, off + n, nil
+}
+
+// CompressRecords serializes an ordered run of records with
+// prefix-compressed keys and length-prefixed values.
+func CompressRecords(recs []Rec) []byte {
+	keys := make([]string, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+	out := CompressKeys(keys)
+	for _, r := range recs {
+		out = binary.AppendUvarint(out, uint64(len(r.Val)))
+		out = append(out, r.Val...)
+	}
+	return out
+}
+
+// DecompressRecords reverses CompressRecords.
+func DecompressRecords(b []byte) ([]Rec, error) {
+	n, off, err := readUvarint(b, 0)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, n)
+	prev := ""
+	for i := uint64(0); i < n; i++ {
+		var shared, suffix uint64
+		shared, off, err = readUvarint(b, off)
+		if err != nil {
+			return nil, err
+		}
+		suffix, off, err = readUvarint(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if shared > uint64(len(prev)) || off+int(suffix) > len(b) {
+			return nil, ErrCorruptBlock
+		}
+		k := prev[:shared] + string(b[off:off+int(suffix)])
+		off += int(suffix)
+		keys = append(keys, k)
+		prev = k
+	}
+	recs := make([]Rec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var vlen uint64
+		vlen, off, err = readUvarint(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+int(vlen) > len(b) {
+			return nil, ErrCorruptBlock
+		}
+		val := make([]byte, vlen)
+		copy(val, b[off:off+int(vlen)])
+		off += int(vlen)
+		recs = append(recs, Rec{Key: keys[i], Val: val})
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptBlock, len(b)-off)
+	}
+	return recs, nil
+}
+
+// CompressionRatio reports compressed/uncompressed size for a run of
+// records (1.0 = no gain; smaller is better).
+func CompressionRatio(recs []Rec) float64 {
+	raw := 0
+	for _, r := range recs {
+		raw += len(r.Key) + len(r.Val)
+	}
+	if raw == 0 {
+		return 1
+	}
+	return float64(len(CompressRecords(recs))) / float64(raw)
+}

@@ -1,0 +1,94 @@
+package dbfile
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressKeysRoundTrip(t *testing.T) {
+	keys := []string{"acct-0001", "acct-0002", "acct-0003", "acct-1000", "branch-x"}
+	got, err := DecompressKeys(CompressKeys(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("len = %d, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Errorf("key %d = %q, want %q", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	got, err := DecompressKeys(CompressKeys(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip = %v, %v", got, err)
+	}
+	recs, err := DecompressRecords(CompressRecords(nil))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty records = %v, %v", recs, err)
+	}
+}
+
+func TestCompressRecordsRoundTripQuick(t *testing.T) {
+	prop := func(seed []string) bool {
+		// Build sorted unique keys with values.
+		set := make(map[string]bool)
+		for _, s := range seed {
+			set[s] = true
+		}
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		recs := make([]Rec, len(keys))
+		for i, k := range keys {
+			recs[i] = Rec{Key: k, Val: []byte("v:" + k)}
+		}
+		got, err := DecompressRecords(CompressRecords(recs))
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i].Key != recs[i].Key || string(got[i].Val) != string(recs[i].Val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	// Keys with long shared prefixes, the key-sequenced common case.
+	var recs []Rec
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, Rec{
+			Key: fmt.Sprintf("customer-account-%06d", i),
+			Val: []byte("x"),
+		})
+	}
+	ratio := CompressionRatio(recs)
+	if ratio >= 0.7 {
+		t.Errorf("compression ratio = %.2f, want < 0.7 for shared-prefix keys", ratio)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	good := CompressRecords([]Rec{{Key: "abc", Val: []byte("defgh")}})
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := DecompressRecords(good[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+	if _, err := DecompressKeys([]byte{0xff}); err == nil {
+		t.Error("garbage keys block not detected")
+	}
+}

@@ -1,0 +1,487 @@
+package discproc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"encompass/internal/audit"
+	"encompass/internal/dbfile"
+	"encompass/internal/lock"
+	"encompass/internal/msg"
+	"encompass/internal/pair"
+	"encompass/internal/txid"
+)
+
+// opKind classifies a checkpointed mutation.
+type opKind int
+
+const (
+	opCreate opKind = iota
+	opWrite         // insert/update/undo-write: install Val under Key
+	opDelete        // delete/undo-delete: remove Key
+	opReload        // rebuild file structures from the volume (recovery)
+)
+
+// metaFile is the reserved volume file that stores per-file metadata
+// (organization, alternate keys) so file structures are rebuildable after
+// total node failure.
+const metaFile = "__meta__"
+
+// ckOp is the mutation part of a checkpoint record. All apply paths are
+// idempotent (ForceWrite/ForceDelete) so replays after takeover are safe.
+type ckOp struct {
+	Kind       opKind
+	File       string
+	Key        string
+	Val        []byte
+	Org        dbfile.Organization
+	AltKeys    []dbfile.AltKeyDef
+	AllowNodes []string
+	NextRec    uint64 // entry-sequenced allocator position after this op
+}
+
+// ckRecord is one checkpoint: the op, the locks the transaction acquired
+// with it, and the audit images it generated. It is sent to the backup
+// BEFORE the primary applies the op — the WAL-equivalence discipline.
+// EndTx marks end-of-transaction lock release.
+type ckRecord struct {
+	Op     *ckOp
+	Tx     txid.ID
+	Locks  []lock.Key
+	Images []audit.Image
+	EndTx  bool
+	Freeze bool
+}
+
+// pendingOp parks a request that is waiting for a lock.
+type pendingOp struct {
+	req msg.Message
+}
+
+// resumeNote is the continuation payload posted to self when a parked
+// lock wait resolves.
+type resumeNote struct {
+	token uint64
+	err   error
+}
+
+// app is the per-member DISCPROCESS state machine.
+type app struct {
+	proc  *Proc
+	files map[string]*dbfile.File
+	locks *lock.Manager
+	cache *dbfile.Cache
+
+	// participated tracks transactions already reported to TMF.
+	participated map[txid.ID]bool
+
+	// endedSet remembers recently ended transactions so straggler
+	// operations are rejected rather than re-acquiring locks post-release.
+	endedSet map[txid.ID]bool
+
+	// pending parks lock-waiting requests by token.
+	pending   map[uint64]*pendingOp
+	nextToken uint64
+
+	// acl maps file name -> set of node names allowed to access it; a
+	// missing entry means unrestricted.
+	acl map[string]map[string]bool
+
+	// lastCk buffers the most recent checkpoint absorbed as backup, so a
+	// takeover can re-complete the in-flight operation (re-append images,
+	// re-apply to the shared volume) idempotently.
+	lastCk *ckRecord
+}
+
+func newApp(pr *Proc) *app {
+	return &app{
+		proc:         pr,
+		files:        make(map[string]*dbfile.File),
+		locks:        lock.NewManager(),
+		cache:        dbfile.NewCache(pr.cfg.CacheSize),
+		participated: make(map[txid.ID]bool),
+		endedSet:     make(map[txid.ID]bool),
+		pending:      make(map[uint64]*pendingOp),
+		acl:          make(map[string]map[string]bool),
+	}
+}
+
+// Handle dispatches one client request on the primary.
+func (a *app) Handle(ctx *pair.Ctx, m msg.Message) {
+	a.proc.primApp.Store(a)
+	a.proc.ops.Add(1)
+	if m.Kind == kindResume {
+		a.handleResume(ctx, m)
+		return
+	}
+	a.dispatch(ctx, m)
+}
+
+func (a *app) dispatch(ctx *pair.Ctx, m msg.Message) {
+	switch m.Kind {
+	case KindCreate:
+		a.handleCreate(ctx, m)
+	case KindRead:
+		a.handleRead(ctx, m)
+	case KindReadRange:
+		a.handleReadRange(ctx, m)
+	case KindReadAlt:
+		a.handleReadAlt(ctx, m)
+	case KindInsert:
+		a.handleInsert(ctx, m)
+	case KindUpdate:
+		a.handleUpdate(ctx, m)
+	case KindDelete:
+		a.handleDelete(ctx, m)
+	case KindAppend:
+		a.handleAppend(ctx, m)
+	case KindLockFile, KindLockRec:
+		a.handleLock(ctx, m)
+	case KindEndTx:
+		a.handleEndTx(ctx, m)
+	case KindUndo:
+		a.handleUndo(ctx, m)
+	case KindFlush:
+		a.handleFlush(ctx, m)
+	case KindReload:
+		a.handleReload(ctx, m)
+	case KindFreeze:
+		a.handleFreeze(ctx, m)
+	default:
+		ctx.ReplyErr(fmt.Errorf("%w: %q", ErrUnknownKind, m.Kind))
+	}
+}
+
+// ensureLock guarantees tx holds key before m's handler proceeds. If the
+// lock is already held it returns true and the caller continues inline.
+// Otherwise the request is parked, an acquisition is started whose outcome
+// (grant, timeout, or cancellation) is posted back to our own inbox as a
+// continuation message, and the caller must return immediately.
+//
+// Routing every fresh acquisition through a continuation — even an
+// immediately grantable one — keeps all state access on the member
+// goroutine and eliminates lost-wakeup races between the lock manager's
+// timer/release goroutines and this handler.
+func (a *app) ensureLock(ctx *pair.Ctx, m msg.Message, tx txid.ID, key lock.Key, timeout time.Duration) bool {
+	if a.locks.Holds(tx, key) || (!key.IsFileLock() && a.locks.Holds(tx, lock.Key{File: key.File})) {
+		return true
+	}
+	if timeout <= 0 {
+		timeout = DefaultLockTimeout
+	}
+	a.nextToken++
+	token := a.nextToken
+	a.pending[token] = &pendingOp{req: m}
+	proc := ctx.Proc()
+	self := msg.Addr{Name: proc.Name()}
+	a.locks.Acquire(tx, key, timeout, func(err error) {
+		// May run synchronously (immediate grant) or from a lock-manager
+		// goroutine; either way the continuation is a message to self.
+		go proc.Send(self, kindResume, resumeNote{token: token, err: err})
+	})
+	return false
+}
+
+func (a *app) handleResume(ctx *pair.Ctx, m msg.Message) {
+	note := m.Payload.(resumeNote)
+	po, ok := a.pending[note.token]
+	if !ok {
+		return
+	}
+	delete(a.pending, note.token)
+	orig := po.req
+	origCtx := pair.NewCtx(ctx, orig)
+	if note.err != nil {
+		// Lock wait failed: timeout (possible deadlock — the prescribed
+		// recovery is RESTART-TRANSACTION) or cancellation by release.
+		origCtx.ReplyErr(note.err)
+		return
+	}
+	// Lock granted: re-dispatch the original request; the held lock makes
+	// the retry take the inline path.
+	a.dispatch(origCtx, orig)
+}
+
+// checkAccess enforces per-file node ACLs against the request's
+// originating node.
+func (a *app) checkAccess(m msg.Message, file string) error {
+	allowed, ok := a.acl[file]
+	if !ok || len(allowed) == 0 {
+		return nil
+	}
+	origin := m.FromSys
+	if origin == "" {
+		origin = m.From.Node
+	}
+	if !allowed[origin] {
+		return fmt.Errorf("%w: %s accessing %s", ErrAccessDenied, origin, file)
+	}
+	return nil
+}
+
+// lockHeld reports whether tx owns the record (or covering file) lock.
+func (a *app) lockHeld(tx txid.ID, file, key string) bool {
+	return a.locks.Holds(tx, lock.Key{File: file, Record: key}) ||
+		a.locks.Holds(tx, lock.Key{File: file})
+}
+
+func (a *app) file(name string) (*dbfile.File, error) {
+	f, ok := a.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoSuchFile, name, a.proc.name)
+	}
+	return f, nil
+}
+
+// participate reports the volume's participation in tx to TMF, BEFORE the
+// operation takes any lock or applies any change. The call is made on
+// every operation, not just the first per volume: TMF's answer doubles as
+// the transaction's liveness check, refusing operations once the
+// transaction is closed to new work (END in progress or abort under way),
+// so a straggler can never apply an update that the freeze/backout/release
+// snapshots no longer cover.
+func (a *app) participate(tx txid.ID) error {
+	if tx.IsZero() {
+		return nil
+	}
+	if cb := a.proc.cfg.OnParticipate; cb != nil {
+		if err := cb(tx, a.proc.cfg.Volume.Name()); err != nil {
+			return err
+		}
+	}
+	a.participated[tx] = true
+	return nil
+}
+
+// audited reports whether this volume generates audit images.
+func (a *app) audited() bool { return a.proc.cfg.Audit != nil }
+
+// emitImages sends images to the AUDITPROCESS (appended, not forced —
+// unless the T2 ablation's ForceEveryUpdate is on).
+func (a *app) emitImages(ctx *pair.Ctx, imgs []audit.Image) error {
+	if !a.audited() || len(imgs) == 0 {
+		return nil
+	}
+	cpu := ctx.Proc().PID().CPU
+	last, err := a.proc.cfg.Audit.Append(cpu, imgs)
+	if err != nil {
+		return err
+	}
+	if a.proc.cfg.ForceEveryUpdate {
+		return a.proc.cfg.Audit.Force(cpu, last)
+	}
+	return nil
+}
+
+// commitMutation runs the full write discipline for one mutation:
+// checkpoint (audit records + op + locks) to the backup, append images to
+// the audit trail, apply to the file structures and the mirrored volume.
+func (a *app) commitMutation(ctx *pair.Ctx, ck *ckRecord) error {
+	ctx.Checkpoint(*ck) // ErrNoBackup tolerated: degraded mode
+	if err := a.emitImages(ctx, ck.Images); err != nil {
+		return err
+	}
+	a.applyOp(ck.Op)
+	return a.applyVolume(ck.Op)
+}
+
+// applyOp applies a mutation to the in-memory file structures.
+// Idempotent; used by both primary and backup.
+func (a *app) applyOp(op *ckOp) {
+	if op == nil {
+		return
+	}
+	switch op.Kind {
+	case opCreate:
+		if _, ok := a.files[op.File]; !ok {
+			a.files[op.File] = dbfile.NewFile(op.File, op.Org, op.AltKeys...)
+		}
+		if len(op.AllowNodes) > 0 {
+			set := make(map[string]bool, len(op.AllowNodes))
+			for _, n := range op.AllowNodes {
+				set[n] = true
+			}
+			a.acl[op.File] = set
+		}
+	case opWrite:
+		if f, ok := a.files[op.File]; ok {
+			f.ForceWrite(op.Key, op.Val)
+			a.cache.Put(dbfile.CacheKey(op.File, op.Key), op.Val)
+		}
+	case opDelete:
+		if f, ok := a.files[op.File]; ok {
+			f.ForceDelete(op.Key)
+			a.cache.Invalidate(dbfile.CacheKey(op.File, op.Key))
+		}
+	case opReload:
+		_ = a.reloadFromVolume()
+	}
+}
+
+// reloadFromVolume discards all in-memory state and rebuilds the file
+// structures from the (restored) volume contents.
+func (a *app) reloadFromVolume() error {
+	a.files = make(map[string]*dbfile.File)
+	a.cache = dbfile.NewCache(a.proc.cfg.CacheSize)
+	a.locks = lock.NewManager()
+	a.participated = make(map[txid.ID]bool)
+	a.endedSet = make(map[txid.ID]bool)
+	a.pending = make(map[uint64]*pendingOp)
+	v := a.proc.cfg.Volume
+	for _, name := range v.Keys(metaFile) {
+		raw, err := v.Read(metaFile, name)
+		if err != nil {
+			return err
+		}
+		org, alts, err := decodeMeta(raw)
+		if err != nil {
+			return err
+		}
+		f := dbfile.NewFile(name, org, alts...)
+		for _, key := range v.Keys(name) {
+			val, err := v.Read(name, key)
+			if err != nil {
+				return err
+			}
+			f.ForceWrite(key, val)
+		}
+		a.files[name] = f
+	}
+	return nil
+}
+
+// encodeMeta/decodeMeta persist file metadata as a volume record.
+func encodeMeta(org dbfile.Organization, alts []dbfile.AltKeyDef) []byte {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	_ = enc.Encode(org)
+	_ = enc.Encode(alts)
+	return buf.Bytes()
+}
+
+func decodeMeta(raw []byte) (dbfile.Organization, []dbfile.AltKeyDef, error) {
+	dec := gob.NewDecoder(bytes.NewReader(raw))
+	var org dbfile.Organization
+	var alts []dbfile.AltKeyDef
+	if err := dec.Decode(&org); err != nil {
+		return 0, nil, err
+	}
+	if err := dec.Decode(&alts); err != nil {
+		return 0, nil, err
+	}
+	return org, alts, nil
+}
+
+// applyVolume applies a mutation to the shared mirrored volume (primary
+// only; the backup re-applies its buffered op on takeover).
+func (a *app) applyVolume(op *ckOp) error {
+	if op == nil {
+		return nil
+	}
+	v := a.proc.cfg.Volume
+	switch op.Kind {
+	case opWrite:
+		return v.Write(op.File, op.Key, op.Val)
+	case opDelete:
+		return v.Delete(op.File, op.Key)
+	}
+	return nil
+}
+
+// --- pair.App interface ---
+
+// ApplyCheckpoint absorbs one checkpoint on the backup: take the locks,
+// apply the op to the replica file structures, and buffer the record for
+// takeover completion.
+func (a *app) ApplyCheckpoint(cp any) {
+	ck := cp.(ckRecord)
+	if ck.Freeze {
+		a.markEnded(ck.Tx)
+		a.lastCk = nil
+		return
+	}
+	if ck.EndTx {
+		a.markEnded(ck.Tx)
+		a.locks.ReleaseAll(ck.Tx)
+		delete(a.participated, ck.Tx)
+		a.lastCk = nil
+		return
+	}
+	for _, k := range ck.Locks {
+		a.locks.Acquire(ck.Tx, k, time.Nanosecond, func(error) {})
+	}
+	if !ck.Tx.IsZero() {
+		a.participated[ck.Tx] = true
+	}
+	a.applyOp(ck.Op)
+	a.lastCk = &ck
+}
+
+// Snapshot captures full state for seeding a fresh backup.
+func (a *app) Snapshot() any {
+	snap := &snapshot{
+		locks:        a.locks.Snapshot(),
+		participated: make(map[txid.ID]bool, len(a.participated)),
+		files:        make(map[string]fileSnap, len(a.files)),
+	}
+	for tx := range a.participated {
+		snap.participated[tx] = true
+	}
+	for name, f := range a.files {
+		recs := f.ReadRange("", "", 0)
+		snap.files[name] = fileSnap{org: f.Org(), altKeys: f.AltKeys(), recs: recs}
+	}
+	return snap
+}
+
+type fileSnap struct {
+	org     dbfile.Organization
+	altKeys []dbfile.AltKeyDef
+	recs    []dbfile.Rec
+}
+
+type snapshot struct {
+	locks        map[txid.ID][]lock.Key
+	participated map[txid.ID]bool
+	files        map[string]fileSnap
+}
+
+// Restore seeds a fresh backup from a snapshot.
+func (a *app) Restore(s any) {
+	snap := s.(*snapshot)
+	a.locks.Restore(snap.locks)
+	for tx := range snap.participated {
+		a.participated[tx] = true
+	}
+	for name, fs := range snap.files {
+		f := dbfile.NewFile(name, fs.org, fs.altKeys...)
+		for _, r := range fs.recs {
+			f.ForceWrite(r.Key, r.Val)
+		}
+		a.files[name] = f
+	}
+}
+
+// TakeOver completes the in-flight operation whose checkpoint we absorbed:
+// its images may not have reached the audit trail and its volume write may
+// not have happened; both re-applications are idempotent.
+func (a *app) TakeOver() {
+	a.proc.primApp.Store(a)
+	if ck := a.lastCk; ck != nil {
+		if a.audited() && len(ck.Images) > 0 {
+			// Best effort: the trail tolerates duplicate images because
+			// backout/replay write absolute before/after values.
+			cpu := -1
+			if p := a.proc.Pair; p != nil {
+				cpu = p.PrimaryCPU()
+			}
+			if cpu >= 0 {
+				a.proc.cfg.Audit.Append(cpu, ck.Images)
+			}
+		}
+		a.applyVolume(ck.Op)
+		a.lastCk = nil
+	}
+}

@@ -1,0 +1,380 @@
+package discproc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"encompass/internal/audit"
+	"encompass/internal/dbfile"
+	"encompass/internal/disk"
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/txid"
+)
+
+type env struct {
+	sys   *msg.System
+	vol   *disk.Volume
+	trail *audit.Trail
+	proc  *Proc
+
+	mu           sync.Mutex
+	participants map[txid.ID][]string
+}
+
+func newEnv(t *testing.T, cpus int, audited bool) *env {
+	t.Helper()
+	node, err := hw.NewNode("n", cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := msg.NewSystem(node)
+	e := &env{sys: sys, vol: disk.NewVolume("v1"), participants: make(map[txid.ID][]string)}
+	cfg := Config{
+		Volume:    e.vol,
+		CacheSize: 64,
+		OnParticipate: func(tx txid.ID, vol string) error {
+			e.mu.Lock()
+			e.participants[tx] = append(e.participants[tx], vol)
+			e.mu.Unlock()
+			return nil
+		},
+	}
+	if audited {
+		e.trail = audit.NewTrail("a1", 0)
+		if _, err := audit.StartProcess(sys, "audit-1", 0, 1, e.trail); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Audit = audit.NewClient(sys, "audit-1")
+	}
+	e.proc, err = Start(sys, "disc-v1", 0, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func (e *env) call(t *testing.T, kind string, payload any) (msg.Message, error) {
+	t.Helper()
+	cpu := e.sys.Node().NumCPUs() - 1
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return e.sys.ClientCall(ctx, cpu, msg.Addr{Name: "disc-v1"}, kind, payload)
+}
+
+func (e *env) mustCall(t *testing.T, kind string, payload any) msg.Message {
+	t.Helper()
+	r, err := e.call(t, kind, payload)
+	if err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return r
+}
+
+func tx(n uint64) txid.ID { return txid.ID{Home: "n", CPU: 0, Seq: n} }
+
+func (e *env) create(t *testing.T, file string, org dbfile.Organization, alts ...dbfile.AltKeyDef) {
+	t.Helper()
+	e.mustCall(t, KindCreate, CreateReq{File: file, Org: org, AltKeys: alts})
+}
+
+func TestCRUDRoundTrip(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "accts", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "accts", Key: "100", Val: []byte("fifty")})
+	r := e.mustCall(t, KindRead, ReadReq{File: "accts", Key: "100"})
+	if string(r.Payload.(ReadResp).Val) != "fifty" {
+		t.Errorf("read = %q", r.Payload.(ReadResp).Val)
+	}
+	// Update requires a prior lock; the insert auto-locked the record.
+	e.mustCall(t, KindUpdate, WriteReq{Tx: tx(1), File: "accts", Key: "100", Val: []byte("sixty")})
+	r = e.mustCall(t, KindRead, ReadReq{File: "accts", Key: "100"})
+	if string(r.Payload.(ReadResp).Val) != "sixty" {
+		t.Errorf("after update = %q", r.Payload.(ReadResp).Val)
+	}
+	e.mustCall(t, KindDelete, DeleteReq{Tx: tx(1), File: "accts", Key: "100"})
+	if _, err := e.call(t, KindRead, ReadReq{File: "accts", Key: "100"}); err == nil {
+		t.Error("read after delete should fail")
+	}
+	// Volume mirrors the file contents for inserts/updates.
+	if got, _ := e.vol.Exists("accts", "100"); got {
+		t.Error("volume still has deleted record")
+	}
+}
+
+func TestUpdateWithoutLockRejected(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v")})
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: tx(1)})
+	// tx2 updates without having read-locked: the paper says TMF verifies
+	// prior locking for updates and deletes.
+	_, err := e.call(t, KindUpdate, WriteReq{Tx: tx(2), File: "f", Key: "k", Val: []byte("w")})
+	if err == nil || !strings.Contains(err.Error(), "not locked") {
+		t.Errorf("err = %v, want not-locked rejection", err)
+	}
+	_, err = e.call(t, KindDelete, DeleteReq{Tx: tx(2), File: "f", Key: "k"})
+	if err == nil || !strings.Contains(err.Error(), "not locked") {
+		t.Errorf("delete err = %v, want not-locked rejection", err)
+	}
+	// Reading with lock first makes the update legal.
+	e.mustCall(t, KindRead, ReadReq{Tx: tx(2), File: "f", Key: "k", WithLock: true})
+	e.mustCall(t, KindUpdate, WriteReq{Tx: tx(2), File: "f", Key: "k", Val: []byte("w")})
+}
+
+func TestLockConflictWaitsAndGrants(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v")})
+
+	// tx2's locked read must wait until tx1 ends.
+	got := make(chan error, 1)
+	go func() {
+		_, err := e.call(t, KindRead, ReadReq{Tx: tx(2), File: "f", Key: "k", WithLock: true, LockTimeout: 3 * time.Second})
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("locked read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: tx(1)})
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("read after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never granted")
+	}
+}
+
+func TestLockTimeoutReported(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v")})
+	_, err := e.call(t, KindRead, ReadReq{Tx: tx(2), File: "f", Key: "k", WithLock: true, LockTimeout: 30 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("err = %v, want lock timeout", err)
+	}
+}
+
+func TestAuditImagesGenerated(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v1")})
+	e.mustCall(t, KindUpdate, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v2")})
+	e.mustCall(t, KindDelete, DeleteReq{Tx: tx(1), File: "f", Key: "k"})
+
+	imgs := e.trail.ImagesForUnforced(tx(1))
+	if len(imgs) != 3 {
+		t.Fatalf("images = %d, want 3", len(imgs))
+	}
+	if imgs[0].Kind != audit.ImageInsert || string(imgs[0].After) != "v1" || imgs[0].Before != nil {
+		t.Errorf("insert image = %+v", imgs[0])
+	}
+	if imgs[1].Kind != audit.ImageUpdate || string(imgs[1].Before) != "v1" || string(imgs[1].After) != "v2" {
+		t.Errorf("update image = %+v", imgs[1])
+	}
+	if imgs[2].Kind != audit.ImageDelete || string(imgs[2].Before) != "v2" || imgs[2].After != nil {
+		t.Errorf("delete image = %+v", imgs[2])
+	}
+	// Flush forces the trail (phase one).
+	if e.trail.Forced(imgs[2].LSN) {
+		t.Error("trail forced before flush")
+	}
+	e.mustCall(t, KindFlush, FlushReq{Tx: tx(1)})
+	if !e.trail.Forced(imgs[2].LSN) {
+		t.Error("trail not forced after flush")
+	}
+}
+
+func TestUnauditedVolumeSkipsImages(t *testing.T) {
+	e := newEnv(t, 3, false)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v")})
+	e.mustCall(t, KindFlush, FlushReq{Tx: tx(1)}) // no-op, no error
+}
+
+func TestUndoRestoresBeforeImages(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	// Committed baseline record by tx1.
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "a", Val: []byte("orig")})
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: tx(1)})
+	// tx2 updates a, inserts b, deletes nothing.
+	e.mustCall(t, KindRead, ReadReq{Tx: tx(2), File: "f", Key: "a", WithLock: true})
+	e.mustCall(t, KindUpdate, WriteReq{Tx: tx(2), File: "f", Key: "a", Val: []byte("dirty")})
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(2), File: "f", Key: "b", Val: []byte("new")})
+
+	// Backout: apply before-images in reverse LSN order.
+	imgs := e.trail.ImagesForUnforced(tx(2))
+	rev := make([]audit.Image, len(imgs))
+	for i, im := range imgs {
+		rev[len(imgs)-1-i] = im
+	}
+	e.mustCall(t, KindUndo, UndoReq{Tx: tx(2), Images: rev})
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: tx(2)})
+
+	r := e.mustCall(t, KindRead, ReadReq{File: "f", Key: "a"})
+	if string(r.Payload.(ReadResp).Val) != "orig" {
+		t.Errorf("a = %q after backout, want orig", r.Payload.(ReadResp).Val)
+	}
+	if _, err := e.call(t, KindRead, ReadReq{File: "f", Key: "b"}); err == nil {
+		t.Error("inserted record survived backout")
+	}
+	if got, _ := e.vol.Exists("f", "b"); got {
+		t.Error("volume still holds backed-out insert")
+	}
+}
+
+func TestEndTxRejectsStragglers(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v")})
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: tx(1)})
+	_, err := e.call(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k2", Val: []byte("v")})
+	if err == nil || !strings.Contains(err.Error(), "already ended") {
+		t.Errorf("err = %v, want already-ended rejection", err)
+	}
+}
+
+func TestAppendEntrySequenced(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "hist", dbfile.EntrySequenced)
+	r1 := e.mustCall(t, KindAppend, AppendReq{Tx: tx(1), File: "hist", Val: []byte("e1")})
+	r2 := e.mustCall(t, KindAppend, AppendReq{Tx: tx(1), File: "hist", Val: []byte("e2")})
+	k1 := r1.Payload.(AppendResp).Key
+	k2 := r2.Payload.(AppendResp).Key
+	if k1 >= k2 {
+		t.Errorf("keys not increasing: %q, %q", k1, k2)
+	}
+	rr := e.mustCall(t, KindReadRange, ReadRangeReq{File: "hist"})
+	if got := rr.Payload.(ReadRangeResp).Recs; len(got) != 2 {
+		t.Errorf("range = %d recs, want 2", len(got))
+	}
+}
+
+func TestReadAltKey(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced, dbfile.AltKeyDef{Name: "branch", Offset: 0, Len: 3})
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "a1", Val: []byte("NYCx")})
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "a2", Val: []byte("SFOy")})
+	r := e.mustCall(t, KindReadAlt, ReadAltReq{File: "f", AltKey: "branch", Value: "NYC"})
+	recs := r.Payload.(ReadRangeResp).Recs
+	if len(recs) != 1 || recs[0].Key != "a1" {
+		t.Errorf("alt read = %+v", recs)
+	}
+}
+
+func TestParticipationReported(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(7), File: "f", Key: "a", Val: []byte("1")})
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(7), File: "f", Key: "b", Val: []byte("2")})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// The callback doubles as a per-operation liveness check, so it fires
+	// on every transactional op; all reports must name this volume.
+	got := e.participants[tx(7)]
+	if len(got) == 0 {
+		t.Fatal("no participation reported")
+	}
+	for _, v := range got {
+		if v != "v1" {
+			t.Errorf("participation = %v, want only v1", got)
+		}
+	}
+}
+
+func TestTakeoverPreservesDataAndLocks(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v")})
+
+	e.sys.Node().FailCPU(0) // primary DISCPROCESS and AUDITPROCESS CPUs
+
+	// Data survives the takeover.
+	r := e.mustCall(t, KindRead, ReadReq{File: "f", Key: "k"})
+	if string(r.Payload.(ReadResp).Val) != "v" {
+		t.Errorf("read after takeover = %q", r.Payload.(ReadResp).Val)
+	}
+	// The lock held by tx1 survives: tx2 must time out trying to take it.
+	_, err := e.call(t, KindRead, ReadReq{Tx: tx(2), File: "f", Key: "k", WithLock: true, LockTimeout: 30 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("lock should persist across takeover; err = %v", err)
+	}
+	// tx1 can continue and end normally.
+	e.mustCall(t, KindUpdate, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v2")})
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: tx(1)})
+	r = e.mustCall(t, KindRead, ReadReq{File: "f", Key: "k"})
+	if string(r.Payload.(ReadResp).Val) != "v2" {
+		t.Errorf("read after post-takeover update = %q", r.Payload.(ReadResp).Val)
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v")})
+	for i := 0; i < 5; i++ {
+		e.mustCall(t, KindRead, ReadReq{File: "f", Key: "k"})
+	}
+	st := e.proc.Stats()
+	if st.CacheStats.Hits < 4 {
+		t.Errorf("cache hits = %d, want >= 4", st.CacheStats.Hits)
+	}
+	if st.Reads < 5 || st.Writes < 1 || st.Ops < 6 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInsertDuplicateRejected(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("v")})
+	_, err := e.call(t, KindInsert, WriteReq{Tx: tx(1), File: "f", Key: "k", Val: []byte("w")})
+	if !errors.Is(err, errRemote(err)) && err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v, want duplicate rejection", err)
+	}
+}
+
+// errRemote normalizes the RemoteError wrapper for errors.Is probes.
+func errRemote(err error) error { return err }
+
+func TestNoSuchFile(t *testing.T) {
+	e := newEnv(t, 3, true)
+	_, err := e.call(t, KindRead, ReadReq{File: "ghost", Key: "k"})
+	if err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Errorf("err = %v, want no-such-file", err)
+	}
+}
+
+func TestWriteReqWithoutTx(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	_, err := e.call(t, KindInsert, WriteReq{File: "f", Key: "k", Val: []byte("v")})
+	if err == nil || !strings.Contains(err.Error(), "requires a transaction") {
+		t.Errorf("err = %v, want requires-transaction", err)
+	}
+}
+
+func TestExplicitFileLock(t *testing.T) {
+	e := newEnv(t, 3, true)
+	e.create(t, "f", dbfile.KeySequenced)
+	e.mustCall(t, KindLockFile, LockReq{Tx: tx(1), File: "f"})
+	// Another transaction's record operation must block / time out.
+	_, err := e.call(t, KindInsert, WriteReq{Tx: tx(2), File: "f", Key: "k", Val: []byte("v"), LockTimeout: 30 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("err = %v, want timeout under file lock", err)
+	}
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: tx(1)})
+	e.mustCall(t, KindInsert, WriteReq{Tx: tx(2), File: "f", Key: "k", Val: []byte("v")})
+}

@@ -1,0 +1,452 @@
+package discproc
+
+import (
+	"fmt"
+	"time"
+
+	"encompass/internal/audit"
+	"encompass/internal/dbfile"
+	"encompass/internal/lock"
+	"encompass/internal/msg"
+	"encompass/internal/pair"
+	"encompass/internal/txid"
+)
+
+// ErrTxEnded rejects operations arriving for a transaction that already
+// released its locks on this volume (it committed or was backed out).
+var ErrTxEnded = fmt.Errorf("discproc: transaction already ended on this volume")
+
+func (a *app) handleCreate(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(CreateReq)
+	if _, ok := a.files[req.File]; ok {
+		ctx.ReplyErr(fmt.Errorf("%w: %s", ErrFileExists, req.File))
+		return
+	}
+	ck := &ckRecord{Op: &ckOp{Kind: opCreate, File: req.File, Org: req.Org, AltKeys: req.AltKeys, AllowNodes: req.AllowNodes}}
+	if err := a.commitMutation(ctx, ck); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	// Persist file metadata on the volume so the file structure can be
+	// rebuilt after total node failure (ROLLFORWARD reload).
+	if err := a.proc.cfg.Volume.Write(metaFile, req.File, encodeMeta(req.Org, req.AltKeys)); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	ctx.Reply(nil)
+}
+
+// handleReload rebuilds the in-memory file structures from the volume
+// contents; used after a total node failure once ROLLFORWARD has restored
+// the volume. Locks and in-flight state are discarded: every transaction
+// that was live at the failure is gone.
+func (a *app) handleReload(ctx *pair.Ctx, m msg.Message) {
+	if err := a.reloadFromVolume(); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	// The backup (which shares the volume) rebuilds the same way.
+	ctx.Checkpoint(ckRecord{Op: &ckOp{Kind: opReload}})
+	ctx.Reply(nil)
+}
+
+func (a *app) handleRead(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(ReadReq)
+	f, err := a.file(req.File)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if err := a.checkAccess(m, req.File); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if req.WithLock {
+		if req.Tx.IsZero() {
+			ctx.ReplyErr(fmt.Errorf("%w: locked read", ErrNoTx))
+			return
+		}
+		if a.ended(req.Tx) {
+			ctx.ReplyErr(ErrTxEnded)
+			return
+		}
+		if err := a.participate(req.Tx); err != nil {
+			ctx.ReplyErr(err)
+			return
+		}
+		key := lock.Key{File: req.File, Record: req.Key}
+		if !a.ensureLock(ctx, m, req.Tx, key, req.LockTimeout) {
+			return // parked
+		}
+	}
+	a.proc.reads.Add(1)
+	// Cache consult: a hit avoids the simulated disc read cost.
+	if v, ok := a.cache.Get(dbfile.CacheKey(req.File, req.Key)); ok {
+		ctx.Reply(ReadResp{Val: v})
+		return
+	}
+	v, err := f.Read(req.Key)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if a.proc.cfg.MissPenalty > 0 {
+		time.Sleep(a.proc.cfg.MissPenalty)
+	}
+	a.cache.Put(dbfile.CacheKey(req.File, req.Key), v)
+	ctx.Reply(ReadResp{Val: v})
+}
+
+func (a *app) handleReadRange(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(ReadRangeReq)
+	f, err := a.file(req.File)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if err := a.checkAccess(m, req.File); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	a.proc.reads.Add(1)
+	if req.Desc {
+		ctx.Reply(ReadRangeResp{Recs: f.ReadRangeDesc(req.Lo, req.Hi, req.Limit)})
+		return
+	}
+	ctx.Reply(ReadRangeResp{Recs: f.ReadRange(req.Lo, req.Hi, req.Limit)})
+}
+
+func (a *app) handleReadAlt(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(ReadAltReq)
+	f, err := a.file(req.File)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if err := a.checkAccess(m, req.File); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	a.proc.reads.Add(1)
+	recs, err := f.ReadByAltKey(req.AltKey, req.Value)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	ctx.Reply(ReadRangeResp{Recs: recs})
+}
+
+// handleInsert: "TMF automatically generates locks on all new records
+// inserted by a transaction."
+func (a *app) handleInsert(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(WriteReq)
+	f, err := a.file(req.File)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if err := a.checkAccess(m, req.File); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if req.Tx.IsZero() {
+		ctx.ReplyErr(fmt.Errorf("%w: insert", ErrNoTx))
+		return
+	}
+	if a.ended(req.Tx) {
+		ctx.ReplyErr(ErrTxEnded)
+		return
+	}
+	if f.Exists(req.Key) {
+		ctx.ReplyErr(fmt.Errorf("%w: %s in %s", dbfile.ErrDuplicateKey, req.Key, req.File))
+		return
+	}
+	if err := a.participate(req.Tx); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	key := lock.Key{File: req.File, Record: req.Key}
+	if !a.ensureLock(ctx, m, req.Tx, key, req.LockTimeout) {
+		return
+	}
+	// A competitor may have inserted while we waited for the lock.
+	if f.Exists(req.Key) {
+		ctx.ReplyErr(fmt.Errorf("%w: %s in %s", dbfile.ErrDuplicateKey, req.Key, req.File))
+		return
+	}
+	ck := &ckRecord{
+		Op:    &ckOp{Kind: opWrite, File: req.File, Key: req.Key, Val: req.Val},
+		Tx:    req.Tx,
+		Locks: []lock.Key{key},
+	}
+	if a.audited() {
+		ck.Images = []audit.Image{{
+			Tx: req.Tx, Volume: a.proc.cfg.Volume.Name(), File: req.File,
+			Key: req.Key, Kind: audit.ImageInsert, After: req.Val,
+		}}
+	}
+	if err := a.commitMutation(ctx, ck); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	a.proc.writes.Add(1)
+	ctx.Reply(nil)
+}
+
+// handleUpdate: "TMF verifies that all records updated or deleted by a
+// transaction have been previously locked by that transaction."
+func (a *app) handleUpdate(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(WriteReq)
+	f, err := a.file(req.File)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if err := a.checkAccess(m, req.File); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if req.Tx.IsZero() {
+		ctx.ReplyErr(fmt.Errorf("%w: update", ErrNoTx))
+		return
+	}
+	if a.ended(req.Tx) {
+		ctx.ReplyErr(ErrTxEnded)
+		return
+	}
+	if !a.lockHeld(req.Tx, req.File, req.Key) {
+		ctx.ReplyErr(fmt.Errorf("%w: update %s/%s by %s", ErrNotLocked, req.File, req.Key, req.Tx))
+		return
+	}
+	if err := a.participate(req.Tx); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	before, err := f.Read(req.Key)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	ck := &ckRecord{
+		Op: &ckOp{Kind: opWrite, File: req.File, Key: req.Key, Val: req.Val},
+		Tx: req.Tx,
+	}
+	if a.audited() {
+		ck.Images = []audit.Image{{
+			Tx: req.Tx, Volume: a.proc.cfg.Volume.Name(), File: req.File,
+			Key: req.Key, Kind: audit.ImageUpdate, Before: before, After: req.Val,
+		}}
+	}
+	if err := a.commitMutation(ctx, ck); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	a.proc.writes.Add(1)
+	ctx.Reply(nil)
+}
+
+// handleDelete requires the record lock (acquired at read time) and keeps
+// the primary-key lock until end of transaction.
+func (a *app) handleDelete(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(DeleteReq)
+	f, err := a.file(req.File)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if err := a.checkAccess(m, req.File); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if req.Tx.IsZero() {
+		ctx.ReplyErr(fmt.Errorf("%w: delete", ErrNoTx))
+		return
+	}
+	if a.ended(req.Tx) {
+		ctx.ReplyErr(ErrTxEnded)
+		return
+	}
+	if !a.lockHeld(req.Tx, req.File, req.Key) {
+		ctx.ReplyErr(fmt.Errorf("%w: delete %s/%s by %s", ErrNotLocked, req.File, req.Key, req.Tx))
+		return
+	}
+	if err := a.participate(req.Tx); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	before, err := f.Read(req.Key)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	ck := &ckRecord{
+		Op: &ckOp{Kind: opDelete, File: req.File, Key: req.Key},
+		Tx: req.Tx,
+	}
+	if a.audited() {
+		ck.Images = []audit.Image{{
+			Tx: req.Tx, Volume: a.proc.cfg.Volume.Name(), File: req.File,
+			Key: req.Key, Kind: audit.ImageDelete, Before: before,
+		}}
+	}
+	if err := a.commitMutation(ctx, ck); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	a.proc.writes.Add(1)
+	ctx.Reply(nil)
+}
+
+// handleAppend adds to an entry-sequenced file; the new record is
+// auto-locked like any insert.
+func (a *app) handleAppend(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(AppendReq)
+	f, err := a.file(req.File)
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if err := a.checkAccess(m, req.File); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	if req.Tx.IsZero() {
+		ctx.ReplyErr(fmt.Errorf("%w: append", ErrNoTx))
+		return
+	}
+	if a.ended(req.Tx) {
+		ctx.ReplyErr(ErrTxEnded)
+		return
+	}
+	if f.Org() != dbfile.EntrySequenced {
+		ctx.ReplyErr(fmt.Errorf("%w: append to %s file", dbfile.ErrWrongOrg, f.Org()))
+		return
+	}
+	if err := a.participate(req.Tx); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	key, err := f.PeekAppendKey()
+	if err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	lk := lock.Key{File: req.File, Record: key}
+	// Appends never conflict (fresh key), take the lock synchronously.
+	a.locks.Acquire(req.Tx, lk, DefaultLockTimeout, func(error) {})
+	ck := &ckRecord{
+		Op:    &ckOp{Kind: opWrite, File: req.File, Key: key, Val: req.Val},
+		Tx:    req.Tx,
+		Locks: []lock.Key{lk},
+	}
+	if a.audited() {
+		ck.Images = []audit.Image{{
+			Tx: req.Tx, Volume: a.proc.cfg.Volume.Name(), File: req.File,
+			Key: key, Kind: audit.ImageInsert, After: req.Val,
+		}}
+	}
+	if err := a.commitMutation(ctx, ck); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	a.proc.writes.Add(1)
+	ctx.Reply(AppendResp{Key: key})
+}
+
+// handleLock serves explicit file- or record-lock requests.
+func (a *app) handleLock(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(LockReq)
+	if req.Tx.IsZero() {
+		ctx.ReplyErr(fmt.Errorf("%w: lock", ErrNoTx))
+		return
+	}
+	if a.ended(req.Tx) {
+		ctx.ReplyErr(ErrTxEnded)
+		return
+	}
+	if err := a.participate(req.Tx); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	key := lock.Key{File: req.File, Record: req.Key}
+	if !a.ensureLock(ctx, m, req.Tx, key, req.LockTimeout) {
+		return
+	}
+	// Checkpoint the lock so a takeover preserves it.
+	ctx.Checkpoint(ckRecord{Tx: req.Tx, Locks: []lock.Key{key}})
+	ctx.Reply(nil)
+}
+
+// handleEndTx releases the transaction's locks (phase two of commit, or
+// the completion of backout).
+func (a *app) handleEndTx(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(EndTxReq)
+	a.markEnded(req.Tx)
+	ctx.Checkpoint(ckRecord{Tx: req.Tx, EndTx: true})
+	a.locks.ReleaseAll(req.Tx)
+	delete(a.participated, req.Tx)
+	ctx.Reply(nil)
+}
+
+// handleFreeze marks a transaction ended-for-new-work while keeping its
+// locks: the abort path freezes a transaction at every participating
+// volume BEFORE backout, so an application's straggler update cannot slip
+// in between the backout scan and the lock release.
+func (a *app) handleFreeze(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(EndTxReq)
+	a.markEnded(req.Tx)
+	ctx.Checkpoint(ckRecord{Tx: req.Tx, Freeze: true})
+	ctx.Reply(nil)
+}
+
+// handleUndo applies before-images to reverse the transaction's updates.
+// The images arrive in reverse LSN order from the BACKOUTPROCESS. The
+// transaction still holds its locks, so the restores are invisible to
+// concurrent transactions until lock release.
+func (a *app) handleUndo(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(UndoReq)
+	for _, img := range req.Images {
+		var op *ckOp
+		switch img.Kind {
+		case audit.ImageInsert:
+			op = &ckOp{Kind: opDelete, File: img.File, Key: img.Key}
+		case audit.ImageUpdate, audit.ImageDelete:
+			op = &ckOp{Kind: opWrite, File: img.File, Key: img.Key, Val: img.Before}
+		}
+		ck := &ckRecord{Op: op, Tx: req.Tx}
+		if err := a.commitMutation(ctx, ck); err != nil {
+			ctx.ReplyErr(err)
+			return
+		}
+		a.proc.undos.Add(1)
+	}
+	ctx.Reply(nil)
+}
+
+// handleFlush write-forces the volume's audit trail (phase one of commit).
+// Forcing everything appended so far is conservative and correct: the
+// trail treats already-durable prefixes as free, and unrelated records
+// forced early are simply group-committed.
+func (a *app) handleFlush(ctx *pair.Ctx, m msg.Message) {
+	if !a.audited() {
+		ctx.Reply(nil)
+		return
+	}
+	if err := a.proc.cfg.Audit.Force(ctx.Proc().PID().CPU, 0); err != nil {
+		ctx.ReplyErr(err)
+		return
+	}
+	ctx.Reply(nil)
+}
+
+// endedSet guards against operations arriving after end-of-transaction.
+const endedCap = 4096
+
+func (a *app) markEnded(tx txid.ID) {
+	if len(a.endedSet) >= endedCap {
+		a.endedSet = make(map[txid.ID]bool, endedCap)
+	}
+	a.endedSet[tx] = true
+}
+
+func (a *app) ended(tx txid.ID) bool { return a.endedSet[tx] }

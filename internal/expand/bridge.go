@@ -1,0 +1,209 @@
+package expand
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"encompass/internal/msg"
+)
+
+// Bridge carries inter-node frames over real TCP sockets instead of the
+// in-process Network, so each simulated node can live in its own OS
+// process. It implements msg.RemoteSender for its node: frames are
+// gob-encoded Message values on a persistent connection per peer, with a
+// hello frame identifying the sending node.
+//
+// The Bridge deliberately has no routing: it models the paper's
+// directly-connected communication lines. Severing a peer (Disconnect, or
+// a real network failure) surfaces as ErrPeerUnknown to senders — the same
+// "destination unreachable" signal TMF's critical-response messages need.
+// Bridged deployments run TMF without the topology watcher (the watcher
+// needs the in-process Network); in-doubt transactions are then resolved
+// by retry or the tmfctl manual override, as in a real loosely-coupled
+// network.
+type Bridge struct {
+	sys  *msg.System
+	node string
+	ln   net.Listener
+
+	mu     sync.Mutex
+	peers  map[string]*peerConn
+	closed bool
+}
+
+// ErrPeerUnknown reports a send to a node with no live connection.
+var ErrPeerUnknown = errors.New("expand: no connection to peer node")
+
+type peerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+// hello is the first frame on every connection, identifying the dialer.
+type hello struct {
+	Node string
+}
+
+// ListenBridge starts a bridge for the node, accepting peer connections on
+// addr (e.g. "127.0.0.1:0"). It installs itself as the node's remote
+// sender.
+func ListenBridge(sys *msg.System, addr string) (*Bridge, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bridge{
+		sys:   sys,
+		node:  sys.Node().Name(),
+		ln:    ln,
+		peers: make(map[string]*peerConn),
+	}
+	sys.AttachNetwork(b)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the listening address, for peers to dial.
+func (b *Bridge) Addr() string { return b.ln.Addr().String() }
+
+// Connect dials a peer bridge and registers the connection under the
+// peer's node name (learned from its hello reply).
+func (b *Bridge) Connect(addr string) (peerNode string, err error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hello{Node: b.node}); err != nil {
+		conn.Close()
+		return "", err
+	}
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		conn.Close()
+		return "", fmt.Errorf("expand: bridge handshake: %w", err)
+	}
+	b.addPeer(h.Node, conn, enc)
+	go b.readLoop(h.Node, dec, conn)
+	return h.Node, nil
+}
+
+func (b *Bridge) acceptLoop() {
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			enc := gob.NewEncoder(conn)
+			dec := gob.NewDecoder(conn)
+			var h hello
+			if err := dec.Decode(&h); err != nil {
+				conn.Close()
+				return
+			}
+			if err := enc.Encode(hello{Node: b.node}); err != nil {
+				conn.Close()
+				return
+			}
+			b.addPeer(h.Node, conn, enc)
+			b.readLoop(h.Node, dec, conn)
+		}()
+	}
+}
+
+func (b *Bridge) addPeer(node string, conn net.Conn, enc *gob.Encoder) {
+	b.mu.Lock()
+	if old, ok := b.peers[node]; ok {
+		old.conn.Close()
+	}
+	b.peers[node] = &peerConn{conn: conn, enc: enc}
+	b.mu.Unlock()
+}
+
+func (b *Bridge) readLoop(node string, dec *gob.Decoder, conn net.Conn) {
+	defer func() {
+		conn.Close()
+		b.mu.Lock()
+		if p, ok := b.peers[node]; ok && p.conn == conn {
+			delete(b.peers, node)
+		}
+		b.mu.Unlock()
+	}()
+	for {
+		var m msg.Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		_ = b.sys.DeliverFromNetwork(m)
+	}
+}
+
+// SendRemote implements msg.RemoteSender over the TCP connection to dest.
+func (b *Bridge) SendRemote(dest string, m msg.Message) error {
+	b.mu.Lock()
+	p, ok := b.peers[dest]
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return fmt.Errorf("%w: bridge closed", ErrPeerUnknown)
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s from %s", ErrPeerUnknown, dest, b.node)
+	}
+	p.mu.Lock()
+	err := p.enc.Encode(&m)
+	p.mu.Unlock()
+	if err != nil {
+		p.conn.Close()
+		b.mu.Lock()
+		if cur, ok := b.peers[dest]; ok && cur == p {
+			delete(b.peers, dest)
+		}
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s: %v", ErrPeerUnknown, dest, err)
+	}
+	return nil
+}
+
+// Peers lists currently connected peer node names.
+func (b *Bridge) Peers() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.peers))
+	for n := range b.peers {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Disconnect severs the connection to a peer (simulated line failure).
+func (b *Bridge) Disconnect(node string) {
+	b.mu.Lock()
+	p, ok := b.peers[node]
+	if ok {
+		delete(b.peers, node)
+	}
+	b.mu.Unlock()
+	if ok {
+		p.conn.Close()
+	}
+}
+
+// Close shuts the bridge down: the listener and every peer connection.
+func (b *Bridge) Close() {
+	b.mu.Lock()
+	b.closed = true
+	peers := b.peers
+	b.peers = make(map[string]*peerConn)
+	b.mu.Unlock()
+	b.ln.Close()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+}

@@ -1,0 +1,211 @@
+package expand_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"encompass/internal/audit"
+	"encompass/internal/dbfile"
+	"encompass/internal/discproc"
+	"encompass/internal/disk"
+	"encompass/internal/expand"
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/tmf"
+	"encompass/internal/txid"
+)
+
+// bridgeNode is a full node whose inter-node traffic rides real TCP
+// sockets via an expand.Bridge instead of the in-process Network.
+type bridgeNode struct {
+	name   string
+	sys    *msg.System
+	bridge *expand.Bridge
+	mon    *tmf.Monitor
+	trail  *audit.Trail
+}
+
+func newBridgeNode(t *testing.T, name string) *bridgeNode {
+	t.Helper()
+	node, err := hw.NewNode(name, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := msg.NewSystem(node)
+	br, err := expand.ListenBridge(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(br.Close)
+	mon, err := tmf.New(tmf.Config{System: sys, TMPPrimaryCPU: 0, TMPBackupCPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn := &bridgeNode{name: name, sys: sys, bridge: br, mon: mon}
+	bn.trail = audit.NewTrail("audit", 0)
+	if _, err := audit.StartProcess(sys, "audit", 0, 1, bn.trail); err != nil {
+		t.Fatal(err)
+	}
+	vol := disk.NewVolume("v-" + name)
+	_, err = discproc.Start(sys, "disc", 0, 1, discproc.Config{
+		Volume:        vol,
+		Audit:         audit.NewClient(sys, "audit"),
+		OnParticipate: mon.RegisterLocalVolume,
+		CacheSize:     64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.AddVolume(tmf.VolumeInfo{Name: "v-" + name, DiscName: "disc", AuditName: "audit"})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := sys.ClientCall(ctx, 2, msg.Addr{Name: "disc"}, discproc.KindCreate,
+		discproc.CreateReq{File: "data", Org: dbfile.KeySequenced}); err != nil {
+		t.Fatal(err)
+	}
+	return bn
+}
+
+func (bn *bridgeNode) call(t *testing.T, destNode, kind string, payload any) (msg.Message, error) {
+	t.Helper()
+	addr := msg.Addr{Name: "disc"}
+	if destNode != bn.name {
+		addr.Node = destNode
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return bn.sys.ClientCall(ctx, 2, addr, kind, payload)
+}
+
+func TestBridgeCrossNodeCall(t *testing.T) {
+	a := newBridgeNode(t, "briA")
+	b := newBridgeNode(t, "briB")
+	peer, err := a.bridge.Connect(b.bridge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer != "briB" {
+		t.Fatalf("handshake learned %q, want briB", peer)
+	}
+	tx, _ := a.mon.Begin(0)
+	if err := a.mon.NoteRemoteSend(tx, "briB"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.call(t, "briB", discproc.KindInsert, discproc.WriteReq{
+		Tx: tx, File: "data", Key: "k", Val: []byte("over-tcp"),
+	}); err != nil {
+		t.Fatalf("remote insert over TCP: %v", err)
+	}
+	r, err := b.call(t, "briB", discproc.KindRead, discproc.ReadReq{File: "data", Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Payload.(discproc.ReadResp).Val) != "over-tcp" {
+		t.Errorf("read = %q", r.Payload.(discproc.ReadResp).Val)
+	}
+	a.mon.Abort(tx, "cleanup")
+}
+
+func TestBridgeDistributedCommit(t *testing.T) {
+	a := newBridgeNode(t, "bdcA")
+	b := newBridgeNode(t, "bdcB")
+	if _, err := a.bridge.Connect(b.bridge.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := a.mon.Begin(0)
+	if err := a.mon.NoteRemoteSend(tx, "bdcB"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.call(t, "bdcA", discproc.KindInsert, discproc.WriteReq{
+		Tx: tx, File: "data", Key: "local", Val: []byte("a"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.call(t, "bdcB", discproc.KindInsert, discproc.WriteReq{
+		Tx: tx, File: "data", Key: "remote", Val: []byte("b"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.mon.End(tx); err != nil {
+		t.Fatalf("distributed commit over TCP sockets: %v", err)
+	}
+	waitBridge(t, func() bool {
+		o, ok := b.mon.Outcome(tx)
+		return ok && o == audit.OutcomeCommitted
+	})
+	if st := b.mon.State(tx); st != txid.StateEnded {
+		t.Errorf("b state = %v", st)
+	}
+}
+
+func TestBridgeDisconnectSurfacesAsUnreachable(t *testing.T) {
+	a := newBridgeNode(t, "bduA")
+	b := newBridgeNode(t, "bduB")
+	if _, err := a.bridge.Connect(b.bridge.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	a.bridge.Disconnect("bduB")
+	tx, _ := a.mon.Begin(0)
+	err := a.mon.NoteRemoteSend(tx, "bduB")
+	if !errors.Is(err, tmf.ErrNodeUnreachable) {
+		t.Errorf("err = %v, want ErrNodeUnreachable", err)
+	}
+	a.mon.Abort(tx, "cleanup")
+	if peers := a.bridge.Peers(); len(peers) != 0 {
+		t.Errorf("peers after disconnect = %v", peers)
+	}
+}
+
+func TestBridgeSendToUnknownPeer(t *testing.T) {
+	a := newBridgeNode(t, "bspA")
+	err := a.bridge.SendRemote("ghost", msg.Message{Kind: "x"})
+	if !errors.Is(err, expand.ErrPeerUnknown) {
+		t.Errorf("err = %v, want ErrPeerUnknown", err)
+	}
+}
+
+func TestBridgeThreeNodeMesh(t *testing.T) {
+	a := newBridgeNode(t, "bm3A")
+	b := newBridgeNode(t, "bm3B")
+	c := newBridgeNode(t, "bm3C")
+	if _, err := a.bridge.Connect(b.bridge.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.bridge.Connect(c.bridge.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := a.mon.Begin(0)
+	a.mon.NoteRemoteSend(tx, "bm3B")
+	a.mon.NoteRemoteSend(tx, "bm3C")
+	for _, dest := range []string{"bm3A", "bm3B", "bm3C"} {
+		if _, err := a.call(t, dest, discproc.KindInsert, discproc.WriteReq{
+			Tx: tx, File: "data", Key: "k-" + dest, Val: []byte("v"),
+		}); err != nil {
+			t.Fatalf("insert at %s: %v", dest, err)
+		}
+	}
+	if err := a.mon.End(tx); err != nil {
+		t.Fatalf("3-node commit over TCP: %v", err)
+	}
+	for _, n := range []*bridgeNode{b, c} {
+		n := n
+		waitBridge(t, func() bool {
+			o, ok := n.mon.Outcome(tx)
+			return ok && o == audit.OutcomeCommitted
+		})
+	}
+}
+
+func waitBridge(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

@@ -1,0 +1,307 @@
+// Package expand simulates the GUARDIAN/EXPAND network that connects Tandem
+// nodes: decentralized control (no network master), dynamic best-path
+// routing with automatic re-routing on line failure, and an end-to-end
+// protocol that either delivers a message or tells the sender the
+// destination is unreachable.
+//
+// Messages crossing node boundaries are gob-encoded into frames and decoded
+// at the destination, which enforces value semantics between nodes: two
+// simulated "geographically distributed" systems can never share memory by
+// accident.
+package expand
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"encompass/internal/msg"
+)
+
+// Errors reported by the network.
+var (
+	ErrUnknownNode = errors.New("expand: unknown node")
+	ErrNoPath      = errors.New("expand: no path to node")
+	ErrLinkExists  = errors.New("expand: link already exists")
+)
+
+type linkKey struct{ a, b string }
+
+func mkLinkKey(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+type link struct {
+	up bool
+}
+
+// Stats captures network traffic counters.
+type Stats struct {
+	Frames uint64 // frames delivered
+	Bytes  uint64 // encoded bytes delivered
+	NoPath uint64 // sends rejected for unreachability
+}
+
+// Network is a collection of nodes joined by point-to-point communication
+// lines. It implements msg.RemoteSender for every attached node.
+type Network struct {
+	latency time.Duration // per-hop propagation delay; zero = synchronous
+
+	mu       sync.Mutex
+	systems  map[string]*msg.System
+	links    map[linkKey]*link
+	watchers []func()
+
+	frames atomic.Uint64
+	bytes  atomic.Uint64
+	noPath atomic.Uint64
+}
+
+// NewNetwork creates an empty network. latency is the simulated per-hop
+// propagation delay; zero delivers synchronously.
+func NewNetwork(latency time.Duration) *Network {
+	return &Network{
+		latency: latency,
+		systems: make(map[string]*msg.System),
+		links:   make(map[linkKey]*link),
+	}
+}
+
+// Attach joins a node's message system to the network and installs the
+// network as that node's remote sender.
+func (n *Network) Attach(sys *msg.System) {
+	name := sys.Node().Name()
+	n.mu.Lock()
+	n.systems[name] = sys
+	n.mu.Unlock()
+	sys.AttachNetwork(&nodePort{net: n, from: name})
+}
+
+// nodePort binds a source node name to the network so that SendRemote knows
+// where frames originate.
+type nodePort struct {
+	net  *Network
+	from string
+}
+
+func (p *nodePort) SendRemote(dest string, m msg.Message) error {
+	return p.net.send(p.from, dest, m)
+}
+
+// AddLink creates a communication line between two attached nodes.
+func (n *Network) AddLink(a, b string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.systems[a]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, a)
+	}
+	if _, ok := n.systems[b]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, b)
+	}
+	k := mkLinkKey(a, b)
+	if _, ok := n.links[k]; ok {
+		return fmt.Errorf("%w: %s-%s", ErrLinkExists, a, b)
+	}
+	n.links[k] = &link{up: true}
+	return nil
+}
+
+// FailLink takes a communication line down; traffic re-routes over
+// remaining paths if any exist.
+func (n *Network) FailLink(a, b string) { n.setLink(a, b, false) }
+
+// HealLink restores a failed communication line.
+func (n *Network) HealLink(a, b string) { n.setLink(a, b, true) }
+
+func (n *Network) setLink(a, b string, up bool) {
+	n.mu.Lock()
+	l, ok := n.links[mkLinkKey(a, b)]
+	changed := ok && l.up != up
+	if ok {
+		l.up = up
+	}
+	n.mu.Unlock()
+	if changed {
+		n.notifyTopology()
+	}
+}
+
+// Partition fails every link between the given group of nodes and the rest
+// of the network, producing a network partition.
+func (n *Network) Partition(group ...string) {
+	in := make(map[string]bool, len(group))
+	for _, g := range group {
+		in[g] = true
+	}
+	n.mu.Lock()
+	changed := false
+	for k, l := range n.links {
+		if in[k.a] != in[k.b] && l.up {
+			l.up = false
+			changed = true
+		}
+	}
+	n.mu.Unlock()
+	if changed {
+		n.notifyTopology()
+	}
+}
+
+// HealAll restores every failed link.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	changed := false
+	for _, l := range n.links {
+		if !l.up {
+			l.up = true
+			changed = true
+		}
+	}
+	n.mu.Unlock()
+	if changed {
+		n.notifyTopology()
+	}
+}
+
+// WatchTopology registers a callback invoked whenever link state changes.
+// Callbacks run synchronously with the change; they should be quick and may
+// query Reachable.
+func (n *Network) WatchTopology(fn func()) {
+	n.mu.Lock()
+	n.watchers = append(n.watchers, fn)
+	n.mu.Unlock()
+}
+
+func (n *Network) notifyTopology() {
+	n.mu.Lock()
+	ws := make([]func(), len(n.watchers))
+	copy(ws, n.watchers)
+	n.mu.Unlock()
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Nodes returns the names of all attached nodes, sorted.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var names []string
+	for name := range n.systems {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reachable reports whether a path of up links exists between two nodes.
+func (n *Network) Reachable(a, b string) bool {
+	_, err := n.route(a, b)
+	return err == nil
+}
+
+// Hops returns the hop count of the current best path, or an error if the
+// destination is unreachable.
+func (n *Network) Hops(a, b string) (int, error) { return n.route(a, b) }
+
+// route runs a BFS over up links. Cheap at the scale of the paper's
+// networks (the corporate net was ~50 nodes).
+func (n *Network) route(src, dst string) (hops int, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.systems[src]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, src)
+	}
+	if _, ok := n.systems[dst]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, dst)
+	}
+	if src == dst {
+		return 0, nil
+	}
+	adj := make(map[string][]string)
+	for k, l := range n.links {
+		if l.up {
+			adj[k.a] = append(adj[k.a], k.b)
+			adj[k.b] = append(adj[k.b], k.a)
+		}
+	}
+	dist := map[string]int{src: 0}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			return dist[cur], nil
+		}
+		for _, nb := range adj[cur] {
+			if _, seen := dist[nb]; !seen {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: %s from %s", ErrNoPath, dst, src)
+}
+
+// send implements the end-to-end protocol: it either commits to delivering
+// the frame (returning nil) or reports unreachability synchronously.
+func (n *Network) send(from, to string, m msg.Message) error {
+	hops, err := n.route(from, to)
+	if err != nil {
+		if errors.Is(err, ErrNoPath) {
+			n.noPath.Add(1)
+		}
+		return err
+	}
+	frame, err := encodeFrame(m)
+	if err != nil {
+		return fmt.Errorf("expand: encoding %s payload for %s: %w", m.Kind, to, err)
+	}
+	n.mu.Lock()
+	dest := n.systems[to]
+	n.mu.Unlock()
+	deliver := func() {
+		dm, err := decodeFrame(frame)
+		if err != nil {
+			// An undecodable frame indicates a missing gob registration;
+			// surface loudly rather than dropping silently.
+			panic(fmt.Sprintf("expand: decoding frame for %s: %v", to, err))
+		}
+		n.frames.Add(1)
+		n.bytes.Add(uint64(len(frame)))
+		_ = dest.DeliverFromNetwork(dm)
+	}
+	if n.latency <= 0 {
+		deliver()
+		return nil
+	}
+	time.AfterFunc(time.Duration(hops)*n.latency, deliver)
+	return nil
+}
+
+// Stats returns cumulative traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{Frames: n.frames.Load(), Bytes: n.bytes.Load(), NoPath: n.noPath.Load()}
+}
+
+func encodeFrame(m msg.Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeFrame(b []byte) (msg.Message, error) {
+	var m msg.Message
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
+	return m, err
+}

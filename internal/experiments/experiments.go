@@ -1,0 +1,125 @@
+// Package experiments implements the reproduction harness: one function
+// per figure (F1-F4) and per textual claim (T1-T7) from DESIGN.md. Each
+// experiment builds its own simulated system, drives it, and returns a
+// Report whose rows are the "table" the paper's figure or claim implies.
+//
+// cmd/tmfbench prints the reports; the root bench_test.go wraps the same
+// code paths in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report is one experiment's regenerated table.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// Pass records whether the experiment's qualitative claim held.
+	Pass bool
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	if r.Pass {
+		sb.WriteString("result: PASS\n")
+	} else {
+		sb.WriteString("result: FAIL\n")
+	}
+	return sb.String()
+}
+
+// All runs every experiment and returns the reports in ID order.
+func All() []*Report {
+	reports := []*Report{
+		F1(), F2(), F3(), F4(),
+		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(),
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
+	return reports
+}
+
+// Run executes one experiment by ID ("F1".."T7", case-insensitive), or all
+// of them for "all".
+func Run(id string) ([]*Report, error) {
+	switch strings.ToUpper(id) {
+	case "ALL":
+		return All(), nil
+	case "F1":
+		return []*Report{F1()}, nil
+	case "F2":
+		return []*Report{F2()}, nil
+	case "F3":
+		return []*Report{F3()}, nil
+	case "F4":
+		return []*Report{F4()}, nil
+	case "T1":
+		return []*Report{T1()}, nil
+	case "T2":
+		return []*Report{T2()}, nil
+	case "T3":
+		return []*Report{T3()}, nil
+	case "T4":
+		return []*Report{T4()}, nil
+	case "T5":
+		return []*Report{T5()}, nil
+	case "T6":
+		return []*Report{T6()}, nil
+	case "T7":
+		return []*Report{T7()}, nil
+	case "T8":
+		return []*Report{T8()}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T8, all)", id)
+	}
+}
+
+func dur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+func f2s(f float64) string { return fmt.Sprintf("%.1f", f) }
+func i2s(n int) string     { return fmt.Sprintf("%d", n) }
+func u2s(n uint64) string  { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment is the regeneration harness for one figure or claim;
+// these tests pin that every experiment runs to completion and its
+// qualitative claim (Report.Pass) holds.
+
+func check(t *testing.T, r *Report) {
+	t.Helper()
+	t.Log("\n" + r.String())
+	if !r.Pass {
+		t.Errorf("%s did not pass", r.ID)
+	}
+	if len(r.Rows) == 0 {
+		t.Errorf("%s produced no rows", r.ID)
+	}
+}
+
+func TestF1(t *testing.T) { check(t, F1()) }
+func TestF2(t *testing.T) { check(t, F2()) }
+func TestF3(t *testing.T) { check(t, F3()) }
+func TestF4(t *testing.T) { check(t, F4()) }
+func TestT1(t *testing.T) { check(t, T1()) }
+func TestT2(t *testing.T) { check(t, T2()) }
+func TestT3(t *testing.T) { check(t, T3()) }
+func TestT4(t *testing.T) { check(t, T4()) }
+func TestT5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long history replay")
+	}
+	check(t, T5())
+}
+func TestT6(t *testing.T) { check(t, T6()) }
+func TestT7(t *testing.T) { check(t, T7()) }
+func TestT8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long workload run")
+	}
+	check(t, T8())
+}
+
+func TestRunDispatch(t *testing.T) {
+	if _, err := Run("bogus"); err == nil {
+		t.Error("unknown id should error")
+	}
+	rs, err := Run("f3")
+	if err != nil || len(rs) != 1 || rs[0].ID != "F3" {
+		t.Errorf("Run(f3) = %v, %v", rs, err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{
+		ID: "X", Title: "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"n"},
+		Pass:    true,
+	}
+	s := r.String()
+	for _, want := range []string{"=== X: demo ===", "a", "bb", "note: n", "result: PASS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package fsys is the File System layer applications call to reach the
+// data base: it resolves file names to the DISCPROCESSes holding their
+// partitions ("partitioning of files by key value range across multiple
+// disc volumes (possibly on multiple nodes)"), attaches the caller's
+// current transid to every request ("the File System automatically appends
+// the application process' current transid to the request message which is
+// sent to the DISCPROCESS"), performs the TMP remote-transaction-begin
+// before the first transmission of a transid to another node, and retries
+// path errors so process-pair takeover stays invisible to applications.
+package fsys
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"encompass/internal/dbfile"
+	"encompass/internal/discproc"
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/tmf"
+	"encompass/internal/txid"
+)
+
+// Errors reported by the File System layer.
+var (
+	ErrUnknownFile  = errors.New("fsys: file not in catalog")
+	ErrNoPartition  = errors.New("fsys: no partition covers key")
+	ErrBadPartition = errors.New("fsys: invalid partition table")
+)
+
+// Partition maps a key range (from LowKey inclusive to the next
+// partition's LowKey exclusive) to the volume holding it.
+type Partition struct {
+	LowKey string
+	Node   string
+	Volume string
+	Disc   string // DISCPROCESS service name on that node
+}
+
+// FileInfo is a catalog entry: a logical file and its partitions.
+// AllowNodes, when non-empty, restricts access to requests originating
+// from the listed network nodes — "security controls by ... network node".
+type FileInfo struct {
+	Name       string
+	Org        dbfile.Organization
+	AltKeys    []dbfile.AltKeyDef
+	AllowNodes []string
+	Partitions []Partition // sorted by LowKey; first LowKey must be ""
+}
+
+func (fi *FileInfo) validate() error {
+	if len(fi.Partitions) == 0 {
+		return fmt.Errorf("%w: %s has no partitions", ErrBadPartition, fi.Name)
+	}
+	if fi.Partitions[0].LowKey != "" {
+		return fmt.Errorf("%w: %s first partition must start at the empty key", ErrBadPartition, fi.Name)
+	}
+	for i := 1; i < len(fi.Partitions); i++ {
+		if fi.Partitions[i-1].LowKey >= fi.Partitions[i].LowKey {
+			return fmt.Errorf("%w: %s partitions out of order", ErrBadPartition, fi.Name)
+		}
+	}
+	return nil
+}
+
+// locate returns the partition covering key.
+func (fi *FileInfo) locate(key string) Partition {
+	i := sort.Search(len(fi.Partitions), func(i int) bool { return fi.Partitions[i].LowKey > key })
+	return fi.Partitions[i-1]
+}
+
+// FS is the per-node File System client.
+type FS struct {
+	sys  *msg.System
+	mon  *tmf.Monitor
+	node string
+
+	mu    sync.Mutex
+	files map[string]*FileInfo
+
+	// CallCPU is the CPU requests are issued from (the calling process's
+	// processor); pick any up CPU for simulation drivers.
+	CallCPU int
+	// Timeout bounds each disc call.
+	Timeout time.Duration
+	// LockTimeout is the default lock wait (deadlock detection interval).
+	LockTimeout time.Duration
+}
+
+// New creates the node's File System client.
+func New(sys *msg.System, mon *tmf.Monitor) *FS {
+	return &FS{
+		sys:         sys,
+		mon:         mon,
+		node:        sys.Node().Name(),
+		files:       make(map[string]*FileInfo),
+		CallCPU:     sys.Node().NumCPUs() - 1,
+		Timeout:     10 * time.Second,
+		LockTimeout: 2 * time.Second,
+	}
+}
+
+// Define registers a catalog entry (it does not create the physical
+// files; see Create).
+func (fs *FS) Define(fi FileInfo) error {
+	if err := fi.validate(); err != nil {
+		return err
+	}
+	cp := fi
+	cp.Partitions = append([]Partition(nil), fi.Partitions...)
+	fs.mu.Lock()
+	fs.files[fi.Name] = &cp
+	fs.mu.Unlock()
+	return nil
+}
+
+// Create defines the file and creates its physical partitions on their
+// DISCPROCESSes.
+func (fs *FS) Create(fi FileInfo) error {
+	if err := fs.Define(fi); err != nil {
+		return err
+	}
+	for _, p := range fi.Partitions {
+		err := fs.callPart(txid.ID{}, p, discproc.KindCreate, discproc.CreateReq{
+			File: fi.Name, Org: fi.Org, AltKeys: fi.AltKeys, AllowNodes: fi.AllowNodes,
+		})
+		if err != nil && !isExists(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+func isExists(err error) bool {
+	var re *msg.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "already exists")
+}
+
+func (fs *FS) info(file string) (*FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fi, ok := fs.files[file]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrUnknownFile, file, fs.node)
+	}
+	return fi, nil
+}
+
+// callPart sends one request to a partition's DISCPROCESS, handling the
+// remote-transaction-begin and retrying once around process-pair takeover.
+func (fs *FS) callPart(tx txid.ID, p Partition, kind string, payload any) error {
+	_, err := fs.callPartResp(tx, p, kind, payload)
+	return err
+}
+
+func (fs *FS) callPartResp(tx txid.ID, p Partition, kind string, payload any) (msg.Message, error) {
+	if !tx.IsZero() && p.Node != fs.node {
+		if err := fs.mon.NoteRemoteSend(tx, p.Node); err != nil {
+			return msg.Message{}, err
+		}
+	}
+	addr := msg.Addr{Name: p.Disc}
+	if p.Node != fs.node {
+		addr.Node = p.Node
+	}
+	var last error
+	for attempt := 0; attempt < 3; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), fs.Timeout)
+		r, err := fs.sys.ClientCall(ctx, fs.CallCPU, addr, kind, payload)
+		cancel()
+		if err == nil {
+			return r, nil
+		}
+		last = err
+		// Retry only infrastructure failures (takeover windows), never
+		// application-level rejections.
+		if !errors.Is(err, hw.ErrCPUDown) && !errors.Is(err, msg.ErrNoSuchName) {
+			return msg.Message{}, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return msg.Message{}, last
+}
+
+// Read fetches one record without locking (browse access).
+func (fs *FS) Read(file, key string) ([]byte, error) {
+	fi, err := fs.info(file)
+	if err != nil {
+		return nil, err
+	}
+	r, err := fs.callPartResp(txid.ID{}, fi.locate(key), discproc.KindRead, discproc.ReadReq{File: file, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return r.Payload.(discproc.ReadResp).Val, nil
+}
+
+// ReadLock fetches one record and acquires its record lock for tx: "locks
+// on existing records are obtained at read time by explicit application
+// program request."
+func (fs *FS) ReadLock(tx txid.ID, file, key string) ([]byte, error) {
+	fi, err := fs.info(file)
+	if err != nil {
+		return nil, err
+	}
+	r, err := fs.callPartResp(tx, fi.locate(key), discproc.KindRead, discproc.ReadReq{
+		Tx: tx, File: file, Key: key, WithLock: true, LockTimeout: fs.LockTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.Payload.(discproc.ReadResp).Val, nil
+}
+
+// Insert adds a record under tx; the new record is automatically locked.
+func (fs *FS) Insert(tx txid.ID, file, key string, val []byte) error {
+	fi, err := fs.info(file)
+	if err != nil {
+		return err
+	}
+	return fs.callPart(tx, fi.locate(key), discproc.KindInsert, discproc.WriteReq{
+		Tx: tx, File: file, Key: key, Val: val, LockTimeout: fs.LockTimeout,
+	})
+}
+
+// Update replaces a record previously locked by tx.
+func (fs *FS) Update(tx txid.ID, file, key string, val []byte) error {
+	fi, err := fs.info(file)
+	if err != nil {
+		return err
+	}
+	return fs.callPart(tx, fi.locate(key), discproc.KindUpdate, discproc.WriteReq{
+		Tx: tx, File: file, Key: key, Val: val,
+	})
+}
+
+// Delete removes a record previously locked by tx.
+func (fs *FS) Delete(tx txid.ID, file, key string) error {
+	fi, err := fs.info(file)
+	if err != nil {
+		return err
+	}
+	return fs.callPart(tx, fi.locate(key), discproc.KindDelete, discproc.DeleteReq{
+		Tx: tx, File: file, Key: key,
+	})
+}
+
+// Append adds a record to an entry-sequenced file (last partition).
+func (fs *FS) Append(tx txid.ID, file string, val []byte) (string, error) {
+	fi, err := fs.info(file)
+	if err != nil {
+		return "", err
+	}
+	p := fi.Partitions[len(fi.Partitions)-1]
+	r, err := fs.callPartResp(tx, p, discproc.KindAppend, discproc.AppendReq{
+		Tx: tx, File: file, Val: val, LockTimeout: fs.LockTimeout,
+	})
+	if err != nil {
+		return "", err
+	}
+	return r.Payload.(discproc.AppendResp).Key, nil
+}
+
+// LockFile takes a file-granularity lock on every partition of the file.
+func (fs *FS) LockFile(tx txid.ID, file string) error {
+	fi, err := fs.info(file)
+	if err != nil {
+		return err
+	}
+	for _, p := range fi.Partitions {
+		if err := fs.callPart(tx, p, discproc.KindLockFile, discproc.LockReq{
+			Tx: tx, File: file, LockTimeout: fs.LockTimeout,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRange scans [lo, hi) across partitions in key order, up to limit
+// records (0 = unlimited).
+func (fs *FS) ReadRange(file, lo, hi string, limit int) ([]dbfile.Rec, error) {
+	fi, err := fs.info(file)
+	if err != nil {
+		return nil, err
+	}
+	var out []dbfile.Rec
+	for _, p := range fi.Partitions {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		want := limit
+		if want > 0 {
+			want -= len(out)
+		}
+		r, err := fs.callPartResp(txid.ID{}, p, discproc.KindReadRange, discproc.ReadRangeReq{
+			File: file, Lo: lo, Hi: hi, Limit: want,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r.Payload.(discproc.ReadRangeResp).Recs...)
+	}
+	return out, nil
+}
+
+// ReadRangeDesc scans [lo, hi) in REVERSE key order across partitions,
+// up to limit records (0 = unlimited).
+func (fs *FS) ReadRangeDesc(file, lo, hi string, limit int) ([]dbfile.Rec, error) {
+	fi, err := fs.info(file)
+	if err != nil {
+		return nil, err
+	}
+	var out []dbfile.Rec
+	for i := len(fi.Partitions) - 1; i >= 0; i-- {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		want := limit
+		if want > 0 {
+			want -= len(out)
+		}
+		r, err := fs.callPartResp(txid.ID{}, fi.Partitions[i], discproc.KindReadRange, discproc.ReadRangeReq{
+			File: file, Lo: lo, Hi: hi, Limit: want, Desc: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r.Payload.(discproc.ReadRangeResp).Recs...)
+	}
+	return out, nil
+}
+
+// ReadByAltKey queries every partition's alternate index and merges
+// results in primary-key order.
+func (fs *FS) ReadByAltKey(file, altKey, value string) ([]dbfile.Rec, error) {
+	fi, err := fs.info(file)
+	if err != nil {
+		return nil, err
+	}
+	var out []dbfile.Rec
+	for _, p := range fi.Partitions {
+		r, err := fs.callPartResp(txid.ID{}, p, discproc.KindReadAlt, discproc.ReadAltReq{
+			File: file, AltKey: altKey, Value: value,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r.Payload.(discproc.ReadRangeResp).Recs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Files lists the catalog entries, sorted by name.
+func (fs *FS) Files() []FileInfo {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]FileInfo, 0, len(fs.files))
+	for _, fi := range fs.files {
+		out = append(out, *fi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

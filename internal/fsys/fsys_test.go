@@ -1,0 +1,90 @@
+package fsys
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"encompass/internal/dbfile"
+)
+
+// Full-stack behavior of the FS layer is exercised through the encompass
+// facade tests; these cover the pure catalog logic.
+
+func threeWay() FileInfo {
+	return FileInfo{
+		Name: "f",
+		Org:  dbfile.KeySequenced,
+		Partitions: []Partition{
+			{LowKey: "", Node: "a", Volume: "v1", Disc: "disc-v1"},
+			{LowKey: "h", Node: "b", Volume: "v2", Disc: "disc-v2"},
+			{LowKey: "p", Node: "c", Volume: "v3", Disc: "disc-v3"},
+		},
+	}
+}
+
+func TestValidatePartitionTables(t *testing.T) {
+	good := threeWay()
+	if err := good.validate(); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	empty := FileInfo{Name: "x"}
+	if err := empty.validate(); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("empty err = %v", err)
+	}
+	noEmptyFirst := threeWay()
+	noEmptyFirst.Partitions[0].LowKey = "b"
+	if err := noEmptyFirst.validate(); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("missing-empty-first err = %v", err)
+	}
+	outOfOrder := threeWay()
+	outOfOrder.Partitions[1].LowKey = "z"
+	if err := outOfOrder.validate(); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("out-of-order err = %v", err)
+	}
+	dup := threeWay()
+	dup.Partitions[2].LowKey = "h"
+	if err := dup.validate(); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("duplicate err = %v", err)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	fi := threeWay()
+	cases := map[string]string{
+		"":      "v1",
+		"apple": "v1",
+		"gzzz":  "v1",
+		"h":     "v2",
+		"hat":   "v2",
+		"ozzz":  "v2",
+		"p":     "v3",
+		"zebra": "v3",
+	}
+	for key, want := range cases {
+		if got := fi.locate(key).Volume; got != want {
+			t.Errorf("locate(%q) = %s, want %s", key, got, want)
+		}
+	}
+}
+
+// Property: locate always returns the partition with the greatest LowKey
+// that is <= key.
+func TestLocateQuick(t *testing.T) {
+	fi := threeWay()
+	prop := func(key string) bool {
+		p := fi.locate(key)
+		if p.LowKey > key {
+			return false
+		}
+		for _, q := range fi.Partitions {
+			if q.LowKey <= key && q.LowKey > p.LowKey {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,398 @@
+// Package lock implements the concurrency control described in the paper:
+// "Two granularities of locking are provided ...: file and record. ... All
+// locks are exclusive mode. Each DISCPROCESS maintains the locking control
+// information for those records and files resident on its volume only ...
+// no central lock manager exists. Deadlock detection is by timeout, the
+// interval being specified as part of the lock request."
+//
+// A Manager serves one volume. Because a DISCPROCESS must never block its
+// single serving thread on a lock wait, acquisition is asynchronous: a
+// request that cannot be granted immediately is queued and its callback
+// fires on grant or timeout.
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"encompass/internal/txid"
+)
+
+// Errors reported by the lock manager.
+var (
+	// ErrTimeout is the deadlock-detection-by-timeout outcome. The paper's
+	// prescribed recovery is RESTART-TRANSACTION.
+	ErrTimeout = errors.New("lock: wait timed out (possible deadlock)")
+	// ErrReleased is reported to waiters cancelled because their
+	// transaction released its locks (e.g. it was aborted while waiting).
+	ErrReleased = errors.New("lock: wait cancelled by transaction release")
+)
+
+// Key names a lockable object on a volume: a whole file, or one record by
+// primary key. Record locking "operates on the primary key of an
+// individual logical data record. (There is no locking at the block or
+// index level.)"
+type Key struct {
+	File   string
+	Record string // empty means a file-granularity lock
+}
+
+// IsFileLock reports whether the key names a whole file.
+func (k Key) IsFileLock() bool { return k.Record == "" }
+
+// Stats counts lock activity.
+type Stats struct {
+	Grants       uint64
+	ImmediateOK  uint64
+	Waits        uint64
+	Timeouts     uint64
+	MaxQueueSeen uint64
+}
+
+type waiter struct {
+	tx      txid.ID
+	key     Key
+	grant   func(error)
+	timer   *time.Timer
+	expired bool
+}
+
+type fileLocks struct {
+	fileOwner   txid.ID
+	fileWaiters []*waiter
+	records     map[string]*recEntry
+}
+
+type recEntry struct {
+	owner   txid.ID
+	waiters []*waiter
+}
+
+// Manager is the per-volume lock table.
+type Manager struct {
+	mu    sync.Mutex
+	files map[string]*fileLocks
+	held  map[txid.ID]map[Key]bool // reverse index for ReleaseAll
+
+	grants      atomic.Uint64
+	immediate   atomic.Uint64
+	waits       atomic.Uint64
+	timeouts    atomic.Uint64
+	maxQueue    atomic.Uint64
+	queueLength atomic.Int64
+}
+
+// NewManager creates an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		files: make(map[string]*fileLocks),
+		held:  make(map[txid.ID]map[Key]bool),
+	}
+}
+
+func (m *Manager) fl(file string) *fileLocks {
+	f := m.files[file]
+	if f == nil {
+		f = &fileLocks{records: make(map[string]*recEntry)}
+		m.files[file] = f
+	}
+	return f
+}
+
+// compatible reports whether tx may take key right now. Caller holds m.mu.
+func (m *Manager) compatible(tx txid.ID, key Key) bool {
+	f := m.files[key.File]
+	if f == nil {
+		return true
+	}
+	if !f.fileOwner.IsZero() && f.fileOwner != tx {
+		return false
+	}
+	if key.IsFileLock() {
+		for _, re := range f.records {
+			if !re.owner.IsZero() && re.owner != tx {
+				return false
+			}
+		}
+		return true
+	}
+	re := f.records[key.Record]
+	return re == nil || re.owner.IsZero() || re.owner == tx
+}
+
+// take records ownership. Caller holds m.mu and has verified compatibility.
+func (m *Manager) take(tx txid.ID, key Key) {
+	f := m.fl(key.File)
+	if key.IsFileLock() {
+		f.fileOwner = tx
+	} else {
+		re := f.records[key.Record]
+		if re == nil {
+			re = &recEntry{}
+			f.records[key.Record] = re
+		}
+		re.owner = tx
+	}
+	h := m.held[tx]
+	if h == nil {
+		h = make(map[Key]bool)
+		m.held[tx] = h
+	}
+	h[key] = true
+	m.grants.Add(1)
+}
+
+// Holds reports whether tx currently owns key.
+func (m *Manager) Holds(tx txid.ID, key Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.held[tx][key]
+}
+
+// HeldBy returns the current owner of key (zero if unlocked).
+func (m *Manager) HeldBy(key Key) txid.ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[key.File]
+	if f == nil {
+		return txid.ID{}
+	}
+	if key.IsFileLock() {
+		return f.fileOwner
+	}
+	re := f.records[key.Record]
+	if re == nil {
+		return txid.ID{}
+	}
+	return re.owner
+}
+
+// LocksHeld returns how many locks tx owns.
+func (m *Manager) LocksHeld(tx txid.ID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[tx])
+}
+
+// Acquire requests key for tx in exclusive mode. If the lock is free (or
+// already owned by tx) grant(nil) runs synchronously before Acquire
+// returns true. Otherwise the request queues: grant fires later with nil on
+// grant or ErrTimeout after timeout, and Acquire returns false.
+func (m *Manager) Acquire(tx txid.ID, key Key, timeout time.Duration, grant func(error)) bool {
+	m.mu.Lock()
+	if m.held[tx][key] {
+		m.mu.Unlock()
+		m.immediate.Add(1)
+		grant(nil)
+		return true
+	}
+	if m.compatible(tx, key) {
+		m.take(tx, key)
+		m.mu.Unlock()
+		m.immediate.Add(1)
+		grant(nil)
+		return true
+	}
+	w := &waiter{tx: tx, key: key, grant: grant}
+	f := m.fl(key.File)
+	if key.IsFileLock() {
+		f.fileWaiters = append(f.fileWaiters, w)
+	} else {
+		re := f.records[key.Record]
+		if re == nil {
+			re = &recEntry{}
+			f.records[key.Record] = re
+		}
+		re.waiters = append(re.waiters, w)
+	}
+	m.waits.Add(1)
+	q := uint64(m.queueLength.Add(1))
+	if q > m.maxQueue.Load() {
+		m.maxQueue.Store(q)
+	}
+	w.timer = time.AfterFunc(timeout, func() { m.expire(w) })
+	m.mu.Unlock()
+	return false
+}
+
+// expire fires on a waiter's deadline: remove it and report ErrTimeout.
+func (m *Manager) expire(w *waiter) {
+	m.mu.Lock()
+	if w.expired {
+		m.mu.Unlock()
+		return
+	}
+	w.expired = true
+	m.removeWaiter(w)
+	m.mu.Unlock()
+	m.timeouts.Add(1)
+	m.queueLength.Add(-1)
+	w.grant(ErrTimeout)
+}
+
+// removeWaiter unlinks w from its queue. Caller holds m.mu.
+func (m *Manager) removeWaiter(w *waiter) {
+	f := m.files[w.key.File]
+	if f == nil {
+		return
+	}
+	if w.key.IsFileLock() {
+		f.fileWaiters = without(f.fileWaiters, w)
+		return
+	}
+	if re := f.records[w.key.Record]; re != nil {
+		re.waiters = without(re.waiters, w)
+	}
+}
+
+func without(ws []*waiter, w *waiter) []*waiter {
+	for i, x := range ws {
+		if x == w {
+			return append(ws[:i:i], ws[i+1:]...)
+		}
+	}
+	return ws
+}
+
+// ReleaseAll frees every lock tx owns and cancels its pending waits; it
+// then grants newly compatible waiters in FIFO order. Called at phase two
+// of commit or at the end of backout.
+func (m *Manager) ReleaseAll(tx txid.ID) {
+	m.mu.Lock()
+	for key := range m.held[tx] {
+		f := m.files[key.File]
+		if f == nil {
+			continue
+		}
+		if key.IsFileLock() {
+			if f.fileOwner == tx {
+				f.fileOwner = txid.ID{}
+			}
+		} else if re := f.records[key.Record]; re != nil && re.owner == tx {
+			re.owner = txid.ID{}
+		}
+	}
+	delete(m.held, tx)
+
+	// Cancel waits belonging to tx itself.
+	var cancelled []*waiter
+	for _, f := range m.files {
+		for _, w := range f.fileWaiters {
+			if w.tx == tx {
+				cancelled = append(cancelled, w)
+			}
+		}
+		for _, re := range f.records {
+			for _, w := range re.waiters {
+				if w.tx == tx {
+					cancelled = append(cancelled, w)
+				}
+			}
+		}
+	}
+	for _, w := range cancelled {
+		w.expired = true
+		if w.timer != nil {
+			w.timer.Stop()
+		}
+		m.removeWaiter(w)
+	}
+
+	granted := m.promoteLocked()
+	m.mu.Unlock()
+
+	for _, w := range cancelled {
+		m.queueLength.Add(-1)
+		w.grant(ErrReleased)
+	}
+	for _, w := range granted {
+		m.queueLength.Add(-1)
+		w.grant(nil)
+	}
+}
+
+// promoteLocked grants every waiter that is now compatible, FIFO within
+// each queue, file waiters before record waiters. Caller holds m.mu; the
+// returned waiters' callbacks must be invoked after unlocking.
+func (m *Manager) promoteLocked() []*waiter {
+	var granted []*waiter
+	for {
+		progress := false
+		for _, f := range m.files {
+			for len(f.fileWaiters) > 0 {
+				w := f.fileWaiters[0]
+				if !m.compatible(w.tx, w.key) {
+					break
+				}
+				f.fileWaiters = f.fileWaiters[1:]
+				w.expired = true
+				if w.timer != nil {
+					w.timer.Stop()
+				}
+				m.take(w.tx, w.key)
+				granted = append(granted, w)
+				progress = true
+			}
+			for _, re := range f.records {
+				for len(re.waiters) > 0 {
+					w := re.waiters[0]
+					if !m.compatible(w.tx, w.key) {
+						break
+					}
+					re.waiters = re.waiters[1:]
+					w.expired = true
+					if w.timer != nil {
+						w.timer.Stop()
+					}
+					m.take(w.tx, w.key)
+					granted = append(granted, w)
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return granted
+		}
+	}
+}
+
+// Stats returns activity counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Grants:       m.grants.Load(),
+		ImmediateOK:  m.immediate.Load(),
+		Waits:        m.waits.Load(),
+		Timeouts:     m.timeouts.Load(),
+		MaxQueueSeen: m.maxQueue.Load(),
+	}
+}
+
+// Snapshot lists all held locks, for checkpointing lock state to a backup
+// DISCPROCESS.
+func (m *Manager) Snapshot() map[txid.ID][]Key {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[txid.ID][]Key, len(m.held))
+	for tx, keys := range m.held {
+		for k := range keys {
+			out[tx] = append(out[tx], k)
+		}
+	}
+	return out
+}
+
+// Restore installs a lock snapshot into an empty manager (backup seeding /
+// takeover).
+func (m *Manager) Restore(snap map[txid.ID][]Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for tx, keys := range snap {
+		for _, k := range keys {
+			if m.compatible(tx, k) {
+				m.take(tx, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package lock
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"encompass/internal/txid"
+)
+
+// Property: after any sequence of immediate acquisitions and releases, no
+// object has two owners, the reverse index agrees with the forward table,
+// and a full release leaves the table empty.
+func TestQuickExclusivityInvariant(t *testing.T) {
+	type op struct {
+		Tx   uint8
+		File uint8
+		Rec  uint8
+		Kind uint8 // 0,1 = acquire record; 2 = acquire file; 3 = release all
+	}
+	prop := func(ops []op) bool {
+		m := NewManager()
+		owners := make(map[Key]txid.ID) // model
+		// compat asks the manager's own conflict test without creating a
+		// waiter (a parked waiter's asynchronous grant would diverge from
+		// this sequential model).
+		compat := func(id txid.ID, k Key) bool {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.held[id][k] || m.compatible(id, k)
+		}
+		acquire := func(id txid.ID, k Key) bool {
+			expect := modelCompatible(owners, id, k)
+			if got := compat(id, k); got != expect {
+				return false
+			}
+			if !expect {
+				return true // correctly incompatible; do not park a waiter
+			}
+			granted := false
+			if !m.Acquire(id, k, time.Second, func(err error) { granted = err == nil }) {
+				return false // compatible acquisitions must grant immediately
+			}
+			if !granted {
+				return false
+			}
+			owners[k] = id
+			return true
+		}
+		for _, o := range ops {
+			id := tx(uint64(o.Tx%6) + 1)
+			switch o.Kind % 4 {
+			case 0, 1:
+				if !acquire(id, Key{File: fileName(o.File % 3), Record: recName(o.Rec % 5)}) {
+					return false
+				}
+			case 2:
+				if !acquire(id, Key{File: fileName(o.File % 3)}) {
+					return false
+				}
+			case 3:
+				m.ReleaseAll(id)
+				for k, owner := range owners {
+					if owner == id {
+						delete(owners, k)
+					}
+				}
+			}
+			// Cross-check every model entry against the manager.
+			for k, owner := range owners {
+				if got := m.HeldBy(k); got != owner {
+					return false
+				}
+				if !m.Holds(owner, k) {
+					return false
+				}
+			}
+		}
+		// Release everything: the table must empty out.
+		for i := uint64(1); i <= 6; i++ {
+			m.ReleaseAll(tx(i))
+		}
+		for k := range owners {
+			if got := m.HeldBy(k); !got.IsZero() {
+				return false
+			}
+			_ = k
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// modelCompatible mirrors the manager's conflict rules over the model map.
+func modelCompatible(owners map[Key]txid.ID, id txid.ID, k Key) bool {
+	if owner, ok := owners[k]; ok && owner != id {
+		return false
+	}
+	if k.IsFileLock() {
+		for held, owner := range owners {
+			if held.File == k.File && owner != id {
+				return false
+			}
+		}
+		return true
+	}
+	if owner, ok := owners[Key{File: k.File}]; ok && owner != id {
+		return false
+	}
+	return true
+}
+
+func fileName(i uint8) string { return string(rune('f' + i)) }
+func recName(i uint8) string  { return string(rune('r' + i)) }
+
+// Property: under concurrent contention with random hold times, the
+// manager never grants two transactions the same record simultaneously.
+func TestConcurrentExclusivityStress(t *testing.T) {
+	m := NewManager()
+	key := Key{File: "hot", Record: "r"}
+	var inCS sync.Map // tx currently inside the critical section
+	var violations int64
+	var mu sync.Mutex
+
+	const workers = 12
+	const iters = 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			me := tx(uint64(w + 1))
+			for i := 0; i < iters; i++ {
+				done := make(chan error, 1)
+				m.Acquire(me, key, 500*time.Millisecond, func(err error) { done <- err })
+				if err := <-done; err != nil {
+					continue
+				}
+				// Critical section: verify exclusivity.
+				inCS.Range(func(k, _ any) bool {
+					if k != me {
+						mu.Lock()
+						violations++
+						mu.Unlock()
+					}
+					return true
+				})
+				inCS.Store(me, true)
+				time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				inCS.Delete(me)
+				m.ReleaseAll(me)
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if violations != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations)
+	}
+}
+
+// Property: FIFO + timeouts never lose a waiter — every Acquire's callback
+// fires exactly once.
+func TestEveryWaiterResolvesExactlyOnce(t *testing.T) {
+	m := NewManager()
+	key := Key{File: "f", Record: "r"}
+	grab(m, tx(99), key)
+
+	const waiters = 50
+	var fired [waiters]int32
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		timeout := time.Duration(1+i%5) * time.Millisecond
+		m.Acquire(tx(uint64(i+1)), key, timeout, func(err error) {
+			atomic.AddInt32(&fired[i], 1)
+			wg.Done()
+		})
+	}
+	// Release the blocker after some timeouts have fired.
+	time.Sleep(3 * time.Millisecond)
+	m.ReleaseAll(tx(99))
+	// Waiters that get granted must release so the chain drains.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-done:
+			for i := range fired {
+				if n := atomic.LoadInt32(&fired[i]); n != 1 {
+					t.Errorf("waiter %d callback fired %d times", i, n)
+				}
+			}
+			return
+		case <-deadline:
+			t.Fatal("waiters did not all resolve")
+		default:
+			// Grants hold the lock; release on their behalf to unblock the
+			// FIFO chain.
+			for i := 0; i < waiters; i++ {
+				m.ReleaseAll(tx(uint64(i + 1)))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"encompass/internal/txid"
+)
+
+func tx(n uint64) txid.ID { return txid.ID{Home: "n", CPU: 0, Seq: n} }
+
+// grab acquires synchronously and reports whether the grant was immediate
+// and error-free.
+func grab(m *Manager, t txid.ID, k Key) bool {
+	ok := false
+	immediate := m.Acquire(t, k, time.Second, func(err error) { ok = err == nil })
+	return immediate && ok
+}
+
+func TestImmediateGrantAndReentry(t *testing.T) {
+	m := NewManager()
+	k := Key{File: "f", Record: "r1"}
+	if !grab(m, tx(1), k) {
+		t.Fatal("free lock should grant immediately")
+	}
+	if !grab(m, tx(1), k) {
+		t.Fatal("re-acquiring an owned lock should grant immediately")
+	}
+	if !m.Holds(tx(1), k) {
+		t.Error("Holds = false")
+	}
+	if m.LocksHeld(tx(1)) != 1 {
+		t.Errorf("LocksHeld = %d, want 1", m.LocksHeld(tx(1)))
+	}
+}
+
+func TestConflictQueuesAndGrantsOnRelease(t *testing.T) {
+	m := NewManager()
+	k := Key{File: "f", Record: "r1"}
+	if !grab(m, tx(1), k) {
+		t.Fatal("setup")
+	}
+	granted := make(chan error, 1)
+	if m.Acquire(tx(2), k, time.Second, func(err error) { granted <- err }) {
+		t.Fatal("conflicting acquire should not be immediate")
+	}
+	select {
+	case <-granted:
+		t.Fatal("grant before release")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.ReleaseAll(tx(1))
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatalf("grant err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not granted after release")
+	}
+	if got := m.HeldBy(k); got != tx(2) {
+		t.Errorf("owner = %v, want tx2", got)
+	}
+}
+
+func TestTimeoutIsDeadlockDetection(t *testing.T) {
+	m := NewManager()
+	a, b := Key{File: "f", Record: "a"}, Key{File: "f", Record: "b"}
+	grab(m, tx(1), a)
+	grab(m, tx(2), b)
+	// Classic deadlock: tx1 wants b, tx2 wants a.
+	got1 := make(chan error, 1)
+	got2 := make(chan error, 1)
+	m.Acquire(tx(1), b, 20*time.Millisecond, func(err error) { got1 <- err })
+	m.Acquire(tx(2), a, 20*time.Millisecond, func(err error) { got2 <- err })
+	for i, ch := range []chan error{got1, got2} {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, ErrTimeout) {
+				t.Errorf("waiter %d err = %v, want ErrTimeout", i+1, err)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("waiter %d never resolved", i+1)
+		}
+	}
+	if st := m.Stats(); st.Timeouts != 2 {
+		t.Errorf("Timeouts = %d, want 2", st.Timeouts)
+	}
+}
+
+func TestFileLockConflictsWithRecordLock(t *testing.T) {
+	m := NewManager()
+	rec := Key{File: "f", Record: "r"}
+	file := Key{File: "f"}
+	grab(m, tx(1), rec)
+	granted := make(chan error, 1)
+	if m.Acquire(tx(2), file, time.Second, func(err error) { granted <- err }) {
+		t.Fatal("file lock should conflict with another tx's record lock")
+	}
+	m.ReleaseAll(tx(1))
+	if err := <-granted; err != nil {
+		t.Fatal(err)
+	}
+	// Now a record lock by a third tx must conflict with the file lock.
+	if grab(m, tx(3), Key{File: "f", Record: "other"}) {
+		t.Error("record lock should conflict with another tx's file lock")
+	}
+}
+
+func TestFileLockCompatibleWithOwnRecordLocks(t *testing.T) {
+	m := NewManager()
+	grab(m, tx(1), Key{File: "f", Record: "r1"})
+	grab(m, tx(1), Key{File: "f", Record: "r2"})
+	if !grab(m, tx(1), Key{File: "f"}) {
+		t.Error("a tx escalating to a file lock over its own record locks should succeed")
+	}
+}
+
+func TestDifferentFilesIndependent(t *testing.T) {
+	m := NewManager()
+	if !grab(m, tx(1), Key{File: "f"}) || !grab(m, tx(2), Key{File: "g"}) {
+		t.Error("locks in different files must not conflict")
+	}
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	m := NewManager()
+	k := Key{File: "f", Record: "r"}
+	grab(m, tx(1), k)
+	var order []uint64
+	var mu sync.Mutex
+	release := make(chan struct{})
+	for i := uint64(2); i <= 4; i++ {
+		i := i
+		m.Acquire(tx(i), k, 5*time.Second, func(err error) {
+			if err != nil {
+				t.Errorf("tx%d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			// Hold briefly, then release so the next waiter can run.
+			go func() {
+				<-release
+				m.ReleaseAll(tx(i))
+			}()
+		})
+		time.Sleep(time.Millisecond) // enforce queue arrival order
+	}
+	close(release)
+	m.ReleaseAll(tx(1))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters granted", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != 2 || order[1] != 3 || order[2] != 4 {
+		t.Errorf("grant order = %v, want [2 3 4]", order)
+	}
+}
+
+func TestReleaseAllCancelsOwnWaits(t *testing.T) {
+	m := NewManager()
+	k := Key{File: "f", Record: "r"}
+	grab(m, tx(1), k)
+	got := make(chan error, 1)
+	m.Acquire(tx(2), k, 5*time.Second, func(err error) { got <- err })
+	// tx2 aborts while waiting: its wait must resolve with ErrReleased.
+	m.ReleaseAll(tx(2))
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrReleased) {
+			t.Errorf("err = %v, want ErrReleased", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("wait not cancelled")
+	}
+	// The lock stays with tx1.
+	if got := m.HeldBy(k); got != tx(1) {
+		t.Errorf("owner = %v, want tx1", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := NewManager()
+	grab(m, tx(1), Key{File: "f", Record: "a"})
+	grab(m, tx(1), Key{File: "f", Record: "b"})
+	grab(m, tx(2), Key{File: "g"})
+	snap := m.Snapshot()
+
+	m2 := NewManager()
+	m2.Restore(snap)
+	if !m2.Holds(tx(1), Key{File: "f", Record: "a"}) ||
+		!m2.Holds(tx(1), Key{File: "f", Record: "b"}) ||
+		!m2.Holds(tx(2), Key{File: "g"}) {
+		t.Error("restored manager missing locks")
+	}
+	// Conflicts behave identically after restore.
+	if grab(m2, tx(3), Key{File: "f", Record: "a"}) {
+		t.Error("restored lock did not conflict")
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	m := NewManager()
+	const workers = 8
+	const iters = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := tx(uint64(w + 1))
+			for i := 0; i < iters; i++ {
+				done := make(chan error, 1)
+				m.Acquire(me, Key{File: "hot", Record: "spot"}, time.Second, func(err error) { done <- err })
+				if err := <-done; err == nil {
+					m.ReleaseAll(me)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if owner := m.HeldBy(Key{File: "hot", Record: "spot"}); !owner.IsZero() {
+		t.Errorf("lock leaked to %v", owner)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := NewManager()
+	k := Key{File: "f", Record: "r"}
+	grab(m, tx(1), k)
+	done := make(chan error, 1)
+	m.Acquire(tx(2), k, time.Second, func(err error) { done <- err })
+	m.ReleaseAll(tx(1))
+	<-done
+	st := m.Stats()
+	if st.ImmediateOK != 1 || st.Waits != 1 || st.Grants != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxQueueSeen != 1 {
+		t.Errorf("MaxQueueSeen = %d, want 1", st.MaxQueueSeen)
+	}
+}

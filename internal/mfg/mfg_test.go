@@ -1,0 +1,266 @@
+package mfg
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"encompass"
+)
+
+func buildMfg(t *testing.T, nodes ...string) (*encompass.System, *App) {
+	t.Helper()
+	if len(nodes) == 0 {
+		nodes = DefaultNodes
+	}
+	var specs []encompass.NodeSpec
+	for _, n := range nodes {
+		specs = append(specs, encompass.NodeSpec{
+			Name: n, CPUs: 3,
+			Volumes: []encompass.VolumeSpec{{Name: "v-" + n, Audited: true, CacheSize: 64}},
+		})
+	}
+	// Figure 4's network is drawn as a fully usable mesh; use a ring plus
+	// a chord so partitions are interesting.
+	var links [][2]string
+	for i := range nodes {
+		j := (i + 1) % len(nodes)
+		if j > i {
+			links = append(links, [2]string{nodes[i], nodes[j]})
+		} else if len(nodes) > 2 {
+			links = append(links, [2]string{nodes[i], nodes[j]}) // close the ring
+		}
+	}
+	sys, err := encompass.Build(encompass.Config{Nodes: specs, Links: links})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Install(sys, nodes, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(app.Stop)
+	return sys, app
+}
+
+func TestGlobalRecordEncoding(t *testing.T) {
+	m, p, err := DecodeGlobal(EncodeGlobal("cupertino", "disk drive|qty=5"))
+	if err != nil || m != "cupertino" || p != "disk drive|qty=5" {
+		t.Errorf("decode = %q, %q, %v", m, p, err)
+	}
+	if _, _, err := DecodeGlobal([]byte("no-separator")); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSeedReplicatesEverywhere(t *testing.T) {
+	_, app := buildMfg(t)
+	if err := app.SeedItem("item-master", "disk-100", "cupertino", "rev-A"); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range DefaultNodes {
+		master, payload, err := app.ReadItem(node, "item-master", "disk-100")
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		if master != "cupertino" || payload != "rev-A" {
+			t.Errorf("%s copy = %s/%s", node, master, payload)
+		}
+	}
+}
+
+func TestUpdatePropagatesViaSuspense(t *testing.T) {
+	_, app := buildMfg(t)
+	if err := app.SeedItem("item-master", "disk-100", "cupertino", "rev-A"); err != nil {
+		t.Fatal(err)
+	}
+	// Update originates at Reston; the master is Cupertino.
+	if err := app.UpdateItem("reston", "item-master", "disk-100", "rev-B"); err != nil {
+		t.Fatal(err)
+	}
+	// The master copy is updated synchronously.
+	if _, p, _ := app.ReadItem("cupertino", "item-master", "disk-100"); p != "rev-B" {
+		t.Errorf("master copy = %q", p)
+	}
+	// Replicas converge via the suspense monitor.
+	if !app.WaitConverged("item-master", "disk-100", 5*time.Second) {
+		t.Fatal("replicas did not converge")
+	}
+	if _, p, _ := app.ReadItem("neufahrn", "item-master", "disk-100"); p != "rev-B" {
+		t.Errorf("neufahrn copy = %q", p)
+	}
+	// The applied counter increments after each deferred transaction
+	// commits, slightly behind data convergence: poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && app.Stats().DeferredApplied != 3 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := app.Stats()
+	if st.MasterUpdates != 1 || st.DeferredQueued != 3 || st.DeferredApplied != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && app.SuspenseDepth("cupertino") != 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d := app.SuspenseDepth("cupertino"); d != 0 {
+		t.Errorf("suspense depth = %d after drain", d)
+	}
+}
+
+func TestNodeAutonomyUnderPartition(t *testing.T) {
+	sys, app := buildMfg(t)
+	app.SeedItem("item-master", "cup-part", "cupertino", "v1")
+	app.SeedItem("item-master", "neu-part", "neufahrn", "v1")
+
+	sys.Partition("neufahrn")
+
+	// Claim 1: a record mastered at a reachable node updates fine from a
+	// third node despite Neufahrn being away.
+	if err := app.UpdateItem("reston", "item-master", "cup-part", "v2"); err != nil {
+		t.Fatalf("autonomous update failed: %v", err)
+	}
+	// Claim 2: Neufahrn can keep updating its own mastered records inside
+	// the partition.
+	if err := app.UpdateItem("neufahrn", "item-master", "neu-part", "v2-neu"); err != nil {
+		t.Fatalf("partitioned node's own update failed: %v", err)
+	}
+	// Claim 3: updating a Neufahrn-mastered record from outside fails —
+	// "the update of a global record can occur only if its master node is
+	// available."
+	if err := app.UpdateItem("reston", "item-master", "neu-part", "nope"); !errors.Is(err, ErrMasterUnavailable) {
+		t.Errorf("err = %v, want ErrMasterUnavailable", err)
+	}
+	// Claim 4: the synchronous-replication design cannot update anything
+	// touching the unreachable node.
+	if err := app.UpdateItemSync("cupertino", "item-master", "cup-part", "sync"); err == nil {
+		t.Error("synchronous replication should fail under partition")
+	}
+
+	// Deferred updates accumulate while partitioned.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && app.SuspenseDepth("cupertino") == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d := app.SuspenseDepth("cupertino"); d == 0 {
+		t.Error("no deferred updates queued for the unreachable node")
+	}
+
+	// Heal: "when the network is re-connected and all accumulated updates
+	// are applied, global file copies converge to a consistent state."
+	sys.Heal()
+	if !app.WaitConverged("item-master", "cup-part", 10*time.Second) {
+		t.Fatal("cup-part did not converge after heal")
+	}
+	if !app.WaitConverged("item-master", "neu-part", 10*time.Second) {
+		t.Fatal("neu-part did not converge after heal")
+	}
+	if _, p, _ := app.ReadItem("santaclara", "item-master", "neu-part"); p != "v2-neu" {
+		t.Errorf("neu-part at santaclara = %q, want v2-neu", p)
+	}
+	if _, p, _ := app.ReadItem("neufahrn", "item-master", "cup-part"); p != "v2" {
+		t.Errorf("cup-part at neufahrn = %q, want v2", p)
+	}
+}
+
+func TestSuspenseFIFOOrderPreserved(t *testing.T) {
+	sys, app := buildMfg(t)
+	app.SeedItem("item-master", "itemX", "cupertino", "v0")
+	sys.Partition("neufahrn")
+	// Three sequential updates while Neufahrn is away.
+	for i := 1; i <= 3; i++ {
+		if err := app.UpdateItem("cupertino", "item-master", "itemX", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Heal()
+	if !app.WaitConverged("item-master", "itemX", 10*time.Second) {
+		t.Fatal("did not converge")
+	}
+	// The final state must be the LAST update (in-order application).
+	if _, p, _ := app.ReadItem("neufahrn", "item-master", "itemX"); p != "v3" {
+		t.Errorf("neufahrn itemX = %q, want v3 (suspense order violated)", p)
+	}
+}
+
+func TestLocalTransactionsUnaffectedByPartition(t *testing.T) {
+	sys, app := buildMfg(t)
+	sys.Partition("neufahrn")
+	// "Most transactions access and update only local files": these keep
+	// running everywhere, including inside the partition.
+	for _, node := range DefaultNodes {
+		if err := app.StockMove(node, "widget", "42"); err != nil {
+			t.Errorf("local tx at %s failed under partition: %v", node, err)
+		}
+	}
+	sys.Heal()
+	st := app.Stats()
+	if st.LocalTxns != 4 {
+		t.Errorf("local txns = %d, want 4", st.LocalTxns)
+	}
+}
+
+func TestUpdatesOriginateAtAnyNode(t *testing.T) {
+	_, app := buildMfg(t)
+	app.SeedItem("po-header", "po-1", "santaclara", "open")
+	for _, from := range DefaultNodes {
+		if err := app.UpdateItem(from, "po-header", "po-1", "updated-by-"+from); err != nil {
+			t.Fatalf("update from %s: %v", from, err)
+		}
+	}
+	if !app.WaitConverged("po-header", "po-1", 10*time.Second) {
+		t.Fatal("did not converge")
+	}
+	if _, p, _ := app.ReadItem("reston", "po-header", "po-1"); p != "updated-by-neufahrn" {
+		t.Errorf("final = %q", p)
+	}
+}
+
+func TestTwoNodeMinimalInstall(t *testing.T) {
+	_, app := buildMfg(t, "a", "b")
+	if err := app.SeedItem("bom", "assy-1", "a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.UpdateItem("b", "bom", "assy-1", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if !app.WaitConverged("bom", "assy-1", 5*time.Second) {
+		t.Fatal("no convergence")
+	}
+}
+
+func TestConvergenceUnderFlappingPartitions(t *testing.T) {
+	// Replication churn: updates flow while the transatlantic link flaps.
+	// Whatever interleaving occurs, all replicas must converge to the last
+	// committed master value once the network stays healed.
+	sys, app := buildMfg(t)
+	if err := app.SeedItem("item-master", "flappy", "cupertino", "v0"); err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for i := 1; i <= 10; i++ {
+		if i%2 == 1 {
+			sys.Partition("neufahrn")
+		} else {
+			sys.Heal()
+		}
+		payload := fmt.Sprintf("v%d", i)
+		if err := app.UpdateItem("cupertino", "item-master", "flappy", payload); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		last = payload
+		time.Sleep(5 * time.Millisecond)
+	}
+	sys.Heal()
+	if !app.WaitConverged("item-master", "flappy", 15*time.Second) {
+		for _, n := range DefaultNodes {
+			_, p, _ := app.ReadItem(n, "item-master", "flappy")
+			t.Logf("%s: %q", n, p)
+		}
+		t.Fatal("no convergence after flapping partitions")
+	}
+	if _, p, _ := app.ReadItem("neufahrn", "item-master", "flappy"); p != last {
+		t.Errorf("neufahrn = %q, want %q", p, last)
+	}
+}

@@ -1,0 +1,405 @@
+// Package msg implements the message system of the simulated Tandem
+// operating system. As in the paper, "all communications between processes
+// is via messages" and the message system "makes the physical distribution
+// of hardware components transparent to processes".
+//
+// A Process is a goroutine hosted on a hw.CPU with an inbox. Processes are
+// addressed logically by Addr{Node, Name}; the name registry on each node
+// resolves a name to the PID of the process currently serving it, which is
+// how process-pair takeover stays transparent to requesters: the backup
+// re-registers the service name and subsequent calls reach it.
+//
+// Intra-node traffic rides the dual interprocessor buses (hw.Node.Transfer);
+// inter-node traffic is handed to a RemoteSender installed by the network
+// layer (package expand), which moves gob-encoded frames between nodes.
+package msg
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"encompass/internal/hw"
+)
+
+// Errors reported by the message system.
+var (
+	ErrNoSuchName   = errors.New("msg: no process registered under name")
+	ErrProcessDead  = errors.New("msg: destination process has exited")
+	ErrNoRemote     = errors.New("msg: node is not attached to a network")
+	ErrCallTimeout  = errors.New("msg: call timed out")
+	ErrInboxBlocked = errors.New("msg: destination inbox blocked")
+)
+
+// RegisterPayload makes a payload type encodable across node boundaries.
+// Every struct sent between nodes must be registered once, typically from
+// an init function of the package that defines it.
+func RegisterPayload(v any) { gob.Register(v) }
+
+// PID identifies a process instance: the node it runs on, the CPU hosting
+// it, and a node-unique sequence number.
+type PID struct {
+	Node string
+	CPU  int
+	Seq  uint64
+}
+
+// IsZero reports whether the PID is the zero value.
+func (p PID) IsZero() bool { return p == PID{} }
+
+// String renders the PID as node/cpu:seq.
+func (p PID) String() string { return fmt.Sprintf("%s/%d:%d", p.Node, p.CPU, p.Seq) }
+
+// Addr is the logical address of a service: a node name plus a registered
+// process name, the simulation's analogue of Guardian's \node.$process.
+type Addr struct {
+	Node string
+	Name string
+}
+
+// String renders the address in Guardian \node.$name style.
+func (a Addr) String() string { return `\` + a.Node + ".$" + a.Name }
+
+// Message is the unit of interprocess communication.
+type Message struct {
+	From    PID
+	FromSys string // node name of the caller, used to route replies
+	To      Addr
+	Kind    string
+	Corr    uint64 // correlation id for request/reply matching
+	IsReply bool
+	Err     string // non-empty on an error reply
+	Payload any
+}
+
+// RemoteError is returned by Call when the remote server replied with an
+// application-level error.
+type RemoteError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "msg: remote error: " + e.Msg }
+
+// RemoteSender moves a message to another node. Implemented by the network
+// layer.
+type RemoteSender interface {
+	SendRemote(dest string, m Message) error
+}
+
+const inboxDepth = 1024
+
+// Process is a simulated Guardian process: a goroutine with an inbox,
+// hosted on one CPU.
+type Process struct {
+	sys  *System
+	pid  PID
+	cpu  *hw.CPU
+	name string
+
+	inbox chan Message
+	done  chan struct{}
+	dead  atomic.Bool
+}
+
+// PID returns the process identifier.
+func (p *Process) PID() PID { return p.pid }
+
+// CPU returns the hosting CPU.
+func (p *Process) CPU() *hw.CPU { return p.cpu }
+
+// System returns the message system of the process's node.
+func (p *Process) System() *System { return p.sys }
+
+// Name returns the registered name the process was spawned under.
+func (p *Process) Name() string { return p.name }
+
+// Context returns a context cancelled when the hosting CPU fails or the
+// process exits.
+func (p *Process) Context() context.Context { return p.cpu.Context() }
+
+// Recv blocks until a message arrives, the hosting CPU fails, or ctx is
+// done. It returns a non-nil error when the process should stop serving.
+// A process on a failed CPU never receives another message, even one that
+// was queued before the failure: a dead processor does no work.
+func (p *Process) Recv(ctx context.Context) (Message, error) {
+	cpuCtx := p.cpu.Context()
+	if cpuCtx.Err() != nil {
+		return Message{}, ErrProcessDead
+	}
+	select {
+	case m := <-p.inbox:
+		if cpuCtx.Err() != nil {
+			return Message{}, ErrProcessDead
+		}
+		return m, nil
+	case <-cpuCtx.Done():
+		return Message{}, ErrProcessDead
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Call issues a request from this process and waits for the reply.
+func (p *Process) Call(ctx context.Context, to Addr, kind string, payload any) (Message, error) {
+	return p.sys.call(ctx, p.pid, to, kind, payload)
+}
+
+// Send delivers a one-way message (no reply expected).
+func (p *Process) Send(to Addr, kind string, payload any) error {
+	return p.sys.send(Message{From: p.pid, FromSys: p.sys.node.Name(), To: to, Kind: kind, Payload: payload})
+}
+
+// Reply answers a request with a payload.
+func (p *Process) Reply(req Message, payload any) error {
+	return p.sys.reply(req, payload, "")
+}
+
+// ReplyErr answers a request with an application error.
+func (p *Process) ReplyErr(req Message, err error) error {
+	if err == nil {
+		err = errors.New("unknown error")
+	}
+	return p.sys.reply(req, nil, err.Error())
+}
+
+// Exit marks the process dead and unregisters its name if it still owns it.
+func (p *Process) Exit() {
+	if p.dead.Swap(true) {
+		return
+	}
+	close(p.done)
+	p.sys.unregisterPID(p)
+}
+
+// System is the per-node message system: process table, name registry and
+// correlation-id waiter table.
+type System struct {
+	node *hw.Node
+
+	mu      sync.Mutex
+	nextPID uint64
+	procs   map[uint64]*Process
+	names   map[string]*Process
+
+	nextCorr atomic.Uint64
+	waitMu   sync.Mutex
+	waiters  map[uint64]chan Message
+
+	remote RemoteSender
+}
+
+// NewSystem creates the message system for a node.
+func NewSystem(node *hw.Node) *System {
+	s := &System{
+		node:    node,
+		procs:   make(map[uint64]*Process),
+		names:   make(map[string]*Process),
+		waiters: make(map[uint64]chan Message),
+	}
+	return s
+}
+
+// Node returns the underlying hardware node.
+func (s *System) Node() *hw.Node { return s.node }
+
+// AttachNetwork installs the inter-node transport.
+func (s *System) AttachNetwork(r RemoteSender) {
+	s.mu.Lock()
+	s.remote = r
+	s.mu.Unlock()
+}
+
+// Spawn creates a process on the given CPU, registers it under name (if
+// non-empty) and runs fn in a new goroutine. When fn returns the process
+// exits. Spawning on a down CPU fails.
+func (s *System) Spawn(cpu int, name string, fn func(p *Process)) (*Process, error) {
+	c, err := s.node.CPU(cpu)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Up() {
+		return nil, fmt.Errorf("%w: cpu %d", hw.ErrCPUDown, cpu)
+	}
+	s.mu.Lock()
+	s.nextPID++
+	p := &Process{
+		sys:   s,
+		pid:   PID{Node: s.node.Name(), CPU: cpu, Seq: s.nextPID},
+		cpu:   c,
+		name:  name,
+		inbox: make(chan Message, inboxDepth),
+		done:  make(chan struct{}),
+	}
+	s.procs[p.pid.Seq] = p
+	if name != "" {
+		s.names[name] = p
+	}
+	s.mu.Unlock()
+	go func() {
+		defer p.Exit()
+		fn(p)
+	}()
+	return p, nil
+}
+
+// Register points a service name at the given process, displacing any
+// previous registration. Used by process pairs at takeover. A process may
+// be registered under several names; all are cleaned up when it exits.
+func (s *System) Register(name string, p *Process) {
+	s.mu.Lock()
+	s.names[name] = p
+	s.mu.Unlock()
+}
+
+// Lookup resolves a registered name to a live process.
+func (s *System) Lookup(name string) (*Process, error) {
+	s.mu.Lock()
+	p, ok := s.names[name]
+	s.mu.Unlock()
+	if !ok || p.dead.Load() {
+		return nil, fmt.Errorf("%w: %q on %s", ErrNoSuchName, name, s.node.Name())
+	}
+	return p, nil
+}
+
+func (s *System) unregisterPID(p *Process) {
+	s.mu.Lock()
+	delete(s.procs, p.pid.Seq)
+	for name, cur := range s.names {
+		if cur == p {
+			delete(s.names, name)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// ClientCall issues a request on behalf of external code (for example a
+// simulated terminal user or a test driver) from the given CPU.
+func (s *System) ClientCall(ctx context.Context, fromCPU int, to Addr, kind string, payload any) (Message, error) {
+	return s.call(ctx, PID{Node: s.node.Name(), CPU: fromCPU}, to, kind, payload)
+}
+
+func (s *System) call(ctx context.Context, from PID, to Addr, kind string, payload any) (Message, error) {
+	corr := s.nextCorr.Add(1)
+	ch := make(chan Message, 1)
+	s.waitMu.Lock()
+	s.waiters[corr] = ch
+	s.waitMu.Unlock()
+	defer func() {
+		s.waitMu.Lock()
+		delete(s.waiters, corr)
+		s.waitMu.Unlock()
+	}()
+
+	m := Message{From: from, FromSys: s.node.Name(), To: to, Kind: kind, Corr: corr, Payload: payload}
+	if err := s.send(m); err != nil {
+		return Message{}, err
+	}
+	select {
+	case r := <-ch:
+		if r.Err != "" {
+			return r, &RemoteError{Msg: r.Err}
+		}
+		return r, nil
+	case <-ctx.Done():
+		return Message{}, fmt.Errorf("%w: %s %s: %v", ErrCallTimeout, to, kind, ctx.Err())
+	}
+}
+
+// send routes a message locally or hands it to the network.
+func (s *System) send(m Message) error {
+	if m.To.Node != "" && m.To.Node != s.node.Name() {
+		s.mu.Lock()
+		r := s.remote
+		s.mu.Unlock()
+		if r == nil {
+			return fmt.Errorf("%w: %s", ErrNoRemote, s.node.Name())
+		}
+		return r.SendRemote(m.To.Node, m)
+	}
+	p, err := s.Lookup(m.To.Name)
+	if err != nil {
+		return err
+	}
+	return s.deliverLocal(m.From.CPU, p, m)
+}
+
+func (s *System) deliverLocal(fromCPU int, p *Process, m Message) error {
+	return s.node.Transfer(fromCPU, p.pid.CPU, func() {
+		select {
+		case p.inbox <- m:
+		case <-p.cpu.Context().Done():
+		case <-p.done:
+		case <-time.After(5 * time.Second):
+			// A full inbox for this long indicates a stuck server; the
+			// message is dropped and the caller's timeout fires.
+		}
+	})
+}
+
+// DeliverFromNetwork injects a message that arrived from another node. The
+// network layer calls it on the destination node's system. Replies are
+// routed to local waiters; requests are resolved by name locally.
+func (s *System) DeliverFromNetwork(m Message) error {
+	if m.IsReply {
+		s.completeCall(m)
+		return nil
+	}
+	p, err := s.Lookup(m.To.Name)
+	if err != nil {
+		// Send an error reply home so the caller fails fast rather than
+		// timing out.
+		if m.Corr != 0 {
+			s.routeReply(m, nil, err.Error())
+		}
+		return err
+	}
+	// Deliver on behalf of a CPU-less network entity: use the receiver's
+	// own CPU as the transfer source so only receiver liveness matters.
+	return s.deliverLocal(p.pid.CPU, p, m)
+}
+
+func (s *System) reply(req Message, payload any, errStr string) error {
+	if req.Corr == 0 {
+		return nil // one-way message, nothing to answer
+	}
+	return s.routeReply(req, payload, errStr)
+}
+
+func (s *System) routeReply(req Message, payload any, errStr string) error {
+	r := Message{
+		FromSys: s.node.Name(),
+		To:      Addr{Node: req.FromSys},
+		Kind:    req.Kind,
+		Corr:    req.Corr,
+		IsReply: true,
+		Err:     errStr,
+		Payload: payload,
+	}
+	if req.FromSys != "" && req.FromSys != s.node.Name() {
+		s.mu.Lock()
+		rem := s.remote
+		s.mu.Unlock()
+		if rem == nil {
+			return fmt.Errorf("%w: %s", ErrNoRemote, s.node.Name())
+		}
+		return rem.SendRemote(req.FromSys, r)
+	}
+	s.completeCall(r)
+	return nil
+}
+
+func (s *System) completeCall(r Message) {
+	s.waitMu.Lock()
+	ch, ok := s.waiters[r.Corr]
+	if ok {
+		delete(s.waiters, r.Corr)
+	}
+	s.waitMu.Unlock()
+	if ok {
+		ch <- r
+	}
+}

@@ -1,0 +1,167 @@
+// Package rollforward implements TMF's recovery from total node failure:
+// "TMF's approach to recovery from total node failure is based on
+// occasional archived copies of audited data base files, plus an archive
+// of all audit trails written since the data base files were archived.
+// ... TMF reconstructs any files open at the time of a total node failure
+// by using the after-images from the audit trail to reapply the updates of
+// committed transactions. ROLLFORWARD negotiates with other nodes of the
+// network about transactions which were in 'ending' state at the time of
+// the node failure."
+//
+// Total node failure loses every processor, so checkpointed (but unforced)
+// audit records vanish and the discs may carry updates of transactions
+// that can no longer be backed out. ROLLFORWARD therefore discards the
+// disc contents, restores the archive copy, and REDOes the after-images of
+// committed transactions only.
+package rollforward
+
+import (
+	"fmt"
+	"sort"
+
+	"encompass/internal/audit"
+	"encompass/internal/disk"
+	"encompass/internal/txid"
+)
+
+// Archive is an offline copy of a node's audited volumes plus the trail
+// positions at copy time.
+type Archive struct {
+	Node string
+	// Snapshots maps volume name -> file -> key -> value.
+	Snapshots map[string]map[string]map[string][]byte
+	// TrailLSNs maps trail name -> first LSN to replay (AppendedLSN+1 at
+	// archive time).
+	TrailLSNs map[string]uint64
+}
+
+// Take produces an archive of the given volumes and trails. It can run
+// during normal transaction processing; the fuzziness is repaired at
+// recovery by replaying committed after-images from the recorded LSNs.
+func Take(node string, vols map[string]*disk.Volume, trails map[string]*audit.Trail) *Archive {
+	a := &Archive{
+		Node:      node,
+		Snapshots: make(map[string]map[string]map[string][]byte),
+		TrailLSNs: make(map[string]uint64),
+	}
+	for name, tr := range trails {
+		a.TrailLSNs[name] = tr.AppendedLSN() + 1
+	}
+	for name, v := range vols {
+		a.Snapshots[name] = v.Snapshot()
+	}
+	return a
+}
+
+// Resolver decides whether a transaction seen in the replay window
+// committed. The caller supplies the node's Monitor Audit Trail lookups
+// and — for transactions homed elsewhere or in "ending" state at failure —
+// the negotiation with remote TMPs.
+type Resolver func(tx txid.ID) (committed bool, err error)
+
+// Stats reports what a recovery did.
+type Stats struct {
+	VolumesRestored int
+	ImagesScanned   int
+	ImagesReplayed  int
+	TxCommitted     int
+	TxDiscarded     int
+	Negotiated      int
+}
+
+// Recover rebuilds the volumes: restore the archive snapshots, then
+// reapply after-images of committed transactions in LSN order. resolve is
+// consulted once per distinct transaction; localOutcome short-circuits it
+// for transactions already recorded in the local Monitor Audit Trail.
+func Recover(a *Archive, vols map[string]*disk.Volume, trails map[string]*audit.Trail,
+	mat *audit.MonitorTrail, resolve Resolver) (Stats, error) {
+
+	var st Stats
+	for name, v := range vols {
+		snap, ok := a.Snapshots[name]
+		if !ok {
+			return st, fmt.Errorf("rollforward: no snapshot for volume %s", name)
+		}
+		v.Wipe()
+		v.Restore(snap)
+		st.VolumesRestored++
+	}
+
+	// Gather the replay window from every trail, in LSN order per trail.
+	type imageRun struct {
+		trail  string
+		images []audit.Image
+	}
+	var runs []imageRun
+	for name, tr := range trails {
+		from := a.TrailLSNs[name]
+		if from == 0 {
+			from = 1
+		}
+		imgs, err := tr.ImagesFrom(from)
+		if err != nil {
+			return st, fmt.Errorf("rollforward: trail %s: %w", name, err)
+		}
+		st.ImagesScanned += len(imgs)
+		runs = append(runs, imageRun{trail: name, images: imgs})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].trail < runs[j].trail })
+
+	// Resolve each distinct transaction once.
+	outcome := make(map[txid.ID]bool)
+	decide := func(tx txid.ID) (bool, error) {
+		if c, ok := outcome[tx]; ok {
+			return c, nil
+		}
+		if o, ok := mat.OutcomeOf(tx); ok {
+			c := o == audit.OutcomeCommitted
+			outcome[tx] = c
+			if c {
+				st.TxCommitted++
+			} else {
+				st.TxDiscarded++
+			}
+			return c, nil
+		}
+		st.Negotiated++
+		c, err := resolve(tx)
+		if err != nil {
+			return false, fmt.Errorf("rollforward: negotiating %s: %w", tx, err)
+		}
+		outcome[tx] = c
+		if c {
+			st.TxCommitted++
+		} else {
+			st.TxDiscarded++
+		}
+		return c, nil
+	}
+
+	for _, run := range runs {
+		for _, img := range run.images {
+			committed, err := decide(img.Tx)
+			if err != nil {
+				return st, err
+			}
+			if !committed {
+				continue
+			}
+			v, ok := vols[img.Volume]
+			if !ok {
+				continue
+			}
+			switch img.Kind {
+			case audit.ImageInsert, audit.ImageUpdate:
+				if err := v.Write(img.File, img.Key, img.After); err != nil {
+					return st, err
+				}
+			case audit.ImageDelete:
+				if err := v.Delete(img.File, img.Key); err != nil {
+					return st, err
+				}
+			}
+			st.ImagesReplayed++
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,133 @@
+package scobol
+
+// Program is a parsed Screen COBOL program.
+type Program struct {
+	Name    string
+	Vars    []VarDecl
+	Screens []Screen
+	Proc    []Stmt
+}
+
+// VarDecl is a WORKING-STORAGE item: 01 <name> PIC 9(n)|X(n) [VALUE lit].
+type VarDecl struct {
+	Name    string
+	Numeric bool
+	Width   int
+	Value   string
+}
+
+// Screen declares a named screen and the fields it accepts.
+type Screen struct {
+	Name   string
+	Fields []string
+}
+
+// Stmt is one Screen COBOL statement.
+type Stmt interface{ stmtLine() int }
+
+type stmtBase struct{ Line int }
+
+func (s stmtBase) stmtLine() int { return s.Line }
+
+// AcceptStmt reads a screen's fields from the terminal.
+type AcceptStmt struct {
+	stmtBase
+	Screen string
+}
+
+// DisplayStmt writes expressions to the terminal.
+type DisplayStmt struct {
+	stmtBase
+	Args []Expr
+}
+
+// MoveStmt assigns: MOVE <expr> TO <var>.
+type MoveStmt struct {
+	stmtBase
+	Src Expr
+	Dst string
+}
+
+// ComputeStmt assigns an arithmetic result: COMPUTE <var> = <expr>.
+type ComputeStmt struct {
+	stmtBase
+	Dst  string
+	Expr Expr
+}
+
+// IfStmt is IF <cond> THEN <stmts> [ELSE <stmts>] END-IF.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// PerformStmt is PERFORM <expr> TIMES <stmts> END-PERFORM.
+type PerformStmt struct {
+	stmtBase
+	Times Expr
+	Body  []Stmt
+}
+
+// PerformUntilStmt is PERFORM UNTIL <cond> <stmts> END-PERFORM: the body
+// runs until the condition becomes true (COBOL's test-before semantics).
+type PerformUntilStmt struct {
+	stmtBase
+	Cond Expr
+	Body []Stmt
+}
+
+// BeginStmt is BEGIN-TRANSACTION.
+type BeginStmt struct{ stmtBase }
+
+// EndStmt is END-TRANSACTION.
+type EndStmt struct{ stmtBase }
+
+// AbortStmt is ABORT-TRANSACTION.
+type AbortStmt struct{ stmtBase }
+
+// RestartStmt is RESTART-TRANSACTION.
+type RestartStmt struct{ stmtBase }
+
+// StopStmt is STOP RUN.
+type StopStmt struct{ stmtBase }
+
+// SendStmt is SEND <op> TO SERVER <class> USING <vars> REPLYING <vars>.
+// The request map carries the operation under "op" plus each USING
+// variable; replies bind into the REPLYING variables positionally by the
+// server's reply keys r1, r2, ... or by variable name when present.
+type SendStmt struct {
+	stmtBase
+	Op       Expr
+	Server   Expr
+	Using    []string
+	Replying []string
+}
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+type exprBase struct{ Line int }
+
+func (e exprBase) exprLine() int { return e.Line }
+
+// LitExpr is a string or numeric literal (stored as its string form).
+type LitExpr struct {
+	exprBase
+	Val string
+}
+
+// VarExpr references a working-storage item or special register.
+type VarExpr struct {
+	exprBase
+	Name string
+}
+
+// BinExpr applies an operator: arithmetic (+ - * /), comparison
+// (= <> < > <= >=), or logical (AND OR).
+type BinExpr struct {
+	exprBase
+	Op   string
+	L, R Expr
+}

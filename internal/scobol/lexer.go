@@ -1,0 +1,168 @@
+// Package scobol implements a small Screen COBOL: the language the
+// ENCOMPASS user writes terminal programs in ("a COBOL-like language with
+// extensions for screen handling"), interpreted by the Terminal Control
+// Process. It provides the paper's transaction verbs — BEGIN-TRANSACTION,
+// END-TRANSACTION, ABORT-TRANSACTION, RESTART-TRANSACTION — plus SEND,
+// ACCEPT, DISPLAY, MOVE, COMPUTE, IF and PERFORM, and the special
+// registers TRANSACTIONID and SEND-STATUS.
+package scobol
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokWord tokKind = iota // identifiers and keywords (case-insensitive)
+	tokString
+	tokNumber
+	tokPeriod
+	tokComma
+	tokLParen
+	tokRParen
+	tokOp // = <> < > <= >= + - * /
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of program"
+	case tokPeriod:
+		return "'.'"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with its line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("scobol: line %d: %s", e.Line, e.Msg)
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes source. Comments run from '*' at start of a line (after
+// whitespace) to end of line, COBOL style.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	atLineStart := true
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+			atLineStart = true
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			continue
+		case c == '*' && atLineStart:
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		atLineStart = false
+		switch {
+		case c == '.':
+			// A period is a statement terminator unless inside a number
+			// (we have integer-only numbers, so always a terminator).
+			toks = append(toks, token{tokPeriod, ".", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, errAt(line, "unterminated string literal")
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, errAt(line, "unterminated string literal")
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], line})
+			i = j + 1
+		case c == '<':
+			if i+1 < len(src) && (src[i+1] == '>' || src[i+1] == '=') {
+				toks = append(toks, token{tokOp, src[i : i+2], line})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", line})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", line})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", line})
+				i++
+			}
+		case c == '=' || c == '+' || c == '*' || c == '/':
+			toks = append(toks, token{tokOp, string(c), line})
+			i++
+		case c == '-' && (i+1 >= len(src) || !isWordByte(src[i+1])):
+			toks = append(toks, token{tokOp, "-", line})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case isWordStart(c):
+			j := i
+			for j < len(src) && isWordByte(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokWord, strings.ToUpper(src[i:j]), line})
+			i = j
+		default:
+			return nil, errAt(line, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isWordStart(c byte) bool {
+	return unicode.IsLetter(rune(c))
+}
+
+// isWordByte permits hyphenated COBOL names like END-TRANSACTION and
+// digits inside names.
+func isWordByte(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '-'
+}

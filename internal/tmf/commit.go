@@ -1,0 +1,319 @@
+package tmf
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"encompass/internal/audit"
+	"encompass/internal/discproc"
+	"encompass/internal/msg"
+	"encompass/internal/txid"
+)
+
+// protocol timeouts
+const (
+	volCallTimeout      = 5 * time.Second
+	criticalCallTimeout = 5 * time.Second
+)
+
+// callVolume issues a request to a volume's DISCPROCESS on this node.
+func (m *Monitor) callVolume(vi VolumeInfo, kind string, payload any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), volCallTimeout)
+	defer cancel()
+	_, err := m.sys.ClientCall(ctx, m.tmpCPUOrFirstUp(), msg.Addr{Name: vi.DiscName}, kind, payload)
+	return err
+}
+
+// lockProto acquires the transaction's protocol mutex, serializing
+// commit/abort/phase-one work for this transid on this node.
+func (m *Monitor) lockProto(tx txid.ID) (*tcb, error) {
+	t, err := m.tcb(tx)
+	if err != nil {
+		return nil, err
+	}
+	t.protoMu.Lock()
+	return t, nil
+}
+
+// End runs END-TRANSACTION: the two-phase commit protocol. It must be
+// called on the transaction's home node. On success the transaction is
+// durably committed everywhere; on failure it has been aborted and backed
+// out, and the caller (typically a TCP) may restart the transaction.
+func (m *Monitor) End(tx txid.ID) error {
+	t, err := m.lockProto(tx)
+	if err != nil {
+		return err
+	}
+	defer t.protoMu.Unlock()
+	if !t.isHome {
+		return fmt.Errorf("%w: END of %s attempted on %s", ErrNotHome, tx, m.node)
+	}
+	// A transaction the system already aborted rejects END; the Screen
+	// COBOL program is then restarted at BEGIN-TRANSACTION.
+	if st := m.State(tx); st != txid.StateActive {
+		if st == txid.StateAborting || st == txid.StateAborted {
+			return fmt.Errorf("%w: %s (state %s at END)", ErrAborted, tx, st)
+		}
+		return fmt.Errorf("%w: END of %s in state %s", ErrBadState, tx, st)
+	}
+
+	// END-TRANSACTION: the transaction accepts no further data-base work.
+	m.closeToNewWork(tx)
+	// Phase one: enter "ending", force audit records everywhere.
+	m.broadcast(tx, txid.StateEnding)
+	err = m.phase1Local(tx)
+	if err == nil {
+		err = m.phase1Children(tx)
+	}
+	if err != nil {
+		m.abortLocked(tx, fmt.Sprintf("phase one failed: %v", err))
+		return fmt.Errorf("%w: %s: phase one failed: %v", ErrAborted, tx, err)
+	}
+	if hook := m.phase1Hook; hook != nil {
+		// Fault-injection point between phase one and the commit record,
+		// used by the in-doubt experiments.
+		hook(tx)
+	}
+	// Commit point: the commit record in the Monitor Audit Trail.
+	m.mat.Append(tx, audit.OutcomeCommitted)
+	m.broadcast(tx, txid.StateEnded)
+	m.mu.Lock()
+	m.stats.committed++
+	m.mu.Unlock()
+	// Phase two: release locks locally; safe-delivery to children.
+	m.releaseLocal(tx)
+	m.safeDeliverChildren(tx, kindEnded)
+	return nil
+}
+
+// phase1Local forces this node's audit trails for the transaction.
+func (m *Monitor) phase1Local(tx txid.ID) error {
+	_, _, _, vols, _, err := m.snapshotTx(tx)
+	if err != nil {
+		return err
+	}
+	for _, vi := range vols {
+		if err := m.callVolume(vi, discproc.KindFlush, discproc.FlushReq{Tx: tx}); err != nil {
+			return fmt.Errorf("flush %s: %w", vi.Name, err)
+		}
+	}
+	return nil
+}
+
+// phase1Children sends the critical-response phase-one request to every
+// node this node directly transmitted the transid to. "For critical
+// response messages, the destination TMP must be accessible at the time
+// the message is initiated, and it must reply with an affirmative
+// response in order for the transaction state change to proceed."
+func (m *Monitor) phase1Children(tx txid.ID) error {
+	_, _, children, _, _, err := m.snapshotTx(tx)
+	if err != nil {
+		return err
+	}
+	for _, child := range children {
+		if err := m.tmpCall(child, kindPhase1, tmpReq{Tx: tx}); err != nil {
+			return fmt.Errorf("phase one to %s: %w", child, err)
+		}
+	}
+	return nil
+}
+
+// releaseLocal tells every participating DISCPROCESS on this node to
+// release the transaction's locks (phase two).
+func (m *Monitor) releaseLocal(tx txid.ID) {
+	_, _, _, vols, _, err := m.snapshotTx(tx)
+	if err != nil {
+		return
+	}
+	for _, vi := range vols {
+		_ = m.callVolume(vi, discproc.KindEndTx, discproc.EndTxReq{Tx: tx})
+	}
+}
+
+// freezeLocal marks the transaction ended-for-new-work at every
+// participating DISCPROCESS, while its locks stay held. Run before backout
+// so no straggler operation can interleave with the undo.
+func (m *Monitor) freezeLocal(tx txid.ID) {
+	_, _, _, vols, _, err := m.snapshotTx(tx)
+	if err != nil {
+		return
+	}
+	for _, vi := range vols {
+		_ = m.callVolume(vi, discproc.KindFreeze, discproc.EndTxReq{Tx: tx})
+	}
+}
+
+// Abort backs out a transaction: voluntary (ABORT-TRANSACTION /
+// RESTART-TRANSACTION) or system-initiated. It may be called on the home
+// node, or on a non-home node that has not yet acknowledged phase one
+// (unilateral abort).
+func (m *Monitor) Abort(tx txid.ID, reason string) error {
+	t, err := m.lockProto(tx)
+	if err != nil {
+		return err
+	}
+	defer t.protoMu.Unlock()
+	m.mu.Lock()
+	inDoubt := !t.isHome && t.phase1Acked
+	m.mu.Unlock()
+	if inDoubt {
+		// After an affirmative phase-one reply a non-home node must hold
+		// the transaction's locks until it learns the disposition.
+		return fmt.Errorf("%w: %s", ErrInDoubt, tx)
+	}
+	if st := m.State(tx); st.Terminal() {
+		return nil
+	}
+	m.abortLocked(tx, reason)
+	return nil
+}
+
+// abortInternal takes the protocol mutex then aborts; used by watchers.
+func (m *Monitor) abortInternal(tx txid.ID, reason string) {
+	t, err := m.lockProto(tx)
+	if err != nil {
+		return
+	}
+	defer t.protoMu.Unlock()
+	m.abortLocked(tx, reason)
+}
+
+// abortLocked runs the abort path with the protocol mutex held: state
+// "aborting", freeze, backout of local updates via before-images, abort
+// record, state "aborted", lock release, safe-delivery of the abort to
+// child nodes (each node backs out its own updates from its own trails,
+// "without the need for communication with other nodes").
+func (m *Monitor) abortLocked(tx txid.ID, reason string) {
+	if st := m.State(tx); st == txid.StateAborting || st.Terminal() {
+		return
+	}
+	m.closeToNewWork(tx)
+	m.broadcast(tx, txid.StateAborting)
+	m.freezeLocal(tx)
+	m.backoutLocal(tx)
+	m.mat.Append(tx, audit.OutcomeAborted)
+	m.broadcast(tx, txid.StateAborted)
+	m.mu.Lock()
+	m.stats.aborted++
+	if t, ok := m.txs[tx]; ok {
+		t.abortReason = reason
+	}
+	m.mu.Unlock()
+	m.releaseLocal(tx)
+	m.safeDeliverChildren(tx, kindAborting)
+}
+
+// backoutLocal is the BACKOUTPROCESS: it collects the transaction's
+// before-images from every local audit trail and applies them, newest
+// first, through the owning DISCPROCESSes.
+func (m *Monitor) backoutLocal(tx txid.ID) {
+	_, _, _, vols, _, err := m.snapshotTx(tx)
+	if err != nil || len(vols) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.stats.backouts++
+	m.mu.Unlock()
+
+	// Scan each distinct audit trail once (volumes may share one).
+	cpu := m.tmpCPUOrFirstUp()
+	type volImages struct {
+		vi     VolumeInfo
+		images []audit.Image
+	}
+	byVol := make(map[string]*volImages)
+	for _, vi := range vols {
+		byVol[vi.Name] = &volImages{vi: vi}
+	}
+	scanned := make(map[string]bool)
+	for _, vi := range vols {
+		if vi.AuditName == "" || scanned[vi.AuditName] {
+			continue
+		}
+		scanned[vi.AuditName] = true
+		cl := audit.NewClient(m.sys, vi.AuditName)
+		imgs, err := cl.Scan(cpu, tx)
+		if err != nil {
+			continue
+		}
+		for _, img := range imgs {
+			if v, ok := byVol[img.Volume]; ok {
+				v.images = append(v.images, img)
+			}
+		}
+	}
+	for _, v := range byVol {
+		if len(v.images) == 0 {
+			continue
+		}
+		rev := make([]audit.Image, len(v.images))
+		for i, img := range v.images {
+			rev[len(v.images)-1-i] = img
+		}
+		_ = m.callVolume(v.vi, discproc.KindUndo, discproc.UndoReq{Tx: tx, Images: rev})
+	}
+}
+
+// Outcome reports the transaction's disposition from this node's Monitor
+// Audit Trail.
+func (m *Monitor) Outcome(tx txid.ID) (audit.Outcome, bool) {
+	return m.mat.OutcomeOf(tx)
+}
+
+// ForceDisposition is the manual override the paper describes for in-doubt
+// transactions on a node severed from the transaction's home: the operator
+// determines the disposition on the home node (by telephone, in 1981) and
+// forces it locally.
+func (m *Monitor) ForceDisposition(tx txid.ID, commit bool) error {
+	t, err := m.lockProto(tx)
+	if err != nil {
+		return err
+	}
+	defer t.protoMu.Unlock()
+	if commit {
+		m.applyEndedLocked(tx)
+		return nil
+	}
+	m.mu.Lock()
+	t.phase1Acked = false // permit the abort path
+	m.mu.Unlock()
+	m.abortLocked(tx, "operator forced abort")
+	return nil
+}
+
+// applyEnded performs the phase-two work on this node for a committed
+// transaction and propagates to children via safe-delivery.
+func (m *Monitor) applyEnded(tx txid.ID) {
+	t, err := m.lockProto(tx)
+	if err != nil {
+		return
+	}
+	defer t.protoMu.Unlock()
+	m.applyEndedLocked(tx)
+}
+
+func (m *Monitor) applyEndedLocked(tx txid.ID) {
+	if st := m.State(tx); st == txid.StateEnded {
+		return
+	}
+	m.closeToNewWork(tx)
+	m.mat.Append(tx, audit.OutcomeCommitted)
+	m.broadcast(tx, txid.StateEnded)
+	m.releaseLocal(tx)
+	m.safeDeliverChildren(tx, kindEnded)
+}
+
+// applyAborting performs the abort on this node at the home node's
+// request (safe-delivery) and propagates to children.
+func (m *Monitor) applyAborting(tx txid.ID) {
+	t, err := m.lockProto(tx)
+	if err != nil {
+		return
+	}
+	defer t.protoMu.Unlock()
+	m.mu.Lock()
+	t.phase1Acked = false
+	m.mu.Unlock()
+	m.abortLocked(tx, "aborted by home node")
+}

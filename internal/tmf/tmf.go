@@ -1,0 +1,445 @@
+// Package tmf implements the Transaction Monitoring Facility, the paper's
+// primary contribution: continuous, fault-tolerant transaction processing
+// in a decentralized, distributed environment.
+//
+// Each node runs a Monitor holding:
+//
+//   - per-CPU transaction state tables, updated by broadcasting every state
+//     change over the interprocessor bus to all processors of the node
+//     ("this is done regardless of which processors actually participated
+//     in the transaction");
+//   - the Monitor Audit Trail of commit/abort records — writing the commit
+//     record is the commit point;
+//   - the Transaction Monitor Process (TMP) pair, which coordinates
+//     distributed transactions with TMPs on other nodes using
+//     critical-response messages (remote begin, phase one) and
+//     safe-delivery messages (phase two, abort);
+//   - the BACKOUTPROCESS, which reverses an aborting transaction's updates
+//     using before-images from the audit trails.
+//
+// Single-node transactions use the paper's abbreviated two-phase commit:
+// phase one forces the audit trails, the commit record is written, phase
+// two releases locks. Distributed transactions add TMP-to-TMP voting with
+// unilateral-abort rights until a node has acknowledged phase one.
+package tmf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"encompass/internal/audit"
+	"encompass/internal/expand"
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/txid"
+)
+
+// Errors reported by TMF.
+var (
+	ErrUnknownTx       = errors.New("tmf: unknown transaction")
+	ErrNotHome         = errors.New("tmf: operation only valid on the transaction's home node")
+	ErrAborted         = errors.New("tmf: transaction aborted")
+	ErrBadState        = errors.New("tmf: invalid state transition")
+	ErrNodeUnreachable = errors.New("tmf: participating node unreachable")
+	ErrInDoubt         = errors.New("tmf: transaction in doubt (phase one acknowledged, disposition unknown)")
+)
+
+// VolumeInfo wires one audited volume into TMF: the DISCPROCESS serving it
+// and the AUDITPROCESS that writes its trail.
+type VolumeInfo struct {
+	Name      string
+	DiscName  string
+	AuditName string // empty = unaudited volume
+}
+
+// Transition is one observed state change, recorded for the Figure 3
+// conformance experiment.
+type Transition struct {
+	Tx       txid.ID
+	From, To txid.State
+}
+
+// tcb is the per-transaction control block.
+type tcb struct {
+	id     txid.ID
+	isHome bool
+	source string // node that first transmitted the transid to us (non-home)
+
+	children  map[string]bool // nodes we directly transmitted the transid to
+	localVols map[string]bool // participating volumes on this node
+
+	phase1Acked bool // non-home: we replied affirmatively to phase one
+	abortReason string
+
+	// noNewWork closes the transaction to further data-base operations:
+	// set when END-TRANSACTION starts, when phase one is processed, and at
+	// the top of the abort path. The DISCPROCESS participation check
+	// consults it under the same mutex that the protocol's participant
+	// snapshots use, so an operation either lands before the snapshot
+	// (and is frozen, backed out and released with the rest) or is
+	// rejected — never applied and then orphaned.
+	noNewWork bool
+
+	// protoMu serializes the commit/abort protocol for this transaction on
+	// this node: END-TRANSACTION, system abort, inbound phase one and the
+	// safe-delivery appliers are mutually exclusive, so a failure-initiated
+	// abort can never interleave with a commit in progress. Holding it
+	// across TMP calls is safe because the transmission graph is a tree
+	// (remote-begin reports "already known", so a node gains exactly one
+	// parent) and protocol calls only flow parent → child.
+	protoMu sync.Mutex
+}
+
+// Stats counts TMF activity on a node.
+type Stats struct {
+	Begun          uint64
+	Committed      uint64
+	Aborted        uint64
+	Backouts       uint64
+	BroadcastMsgs  uint64
+	SafeQueueDepth int
+}
+
+// Monitor is the per-node TMF instance.
+type Monitor struct {
+	sys  *msg.System
+	node string
+	net  *expand.Network // nil on an un-networked node
+	mat  *audit.MonitorTrail
+
+	mu      sync.Mutex
+	txs     map[txid.ID]*tcb
+	seq     map[int]uint64 // per-CPU BEGIN sequence numbers
+	volumes map[string]VolumeInfo
+
+	// tabMu guards the per-CPU replicated state tables.
+	tabMu  sync.Mutex
+	tables []map[txid.ID]txid.State
+
+	// transitions is the Figure 3 conformance log.
+	trMu        sync.Mutex
+	transitions []Transition
+	violations  []Transition
+
+	// safe-delivery queue per destination node.
+	sqMu      sync.Mutex
+	safeQueue map[string][]safeMsg
+
+	stats struct {
+		begun, committed, aborted, backouts, broadcast uint64
+	}
+
+	tmpPair *tmpApp
+	tmpCPU  func() int
+
+	// phase1Hook, when set, runs between a successful phase one and the
+	// write of the commit record; fault-injection experiments use it to
+	// create in-doubt participants.
+	phase1Hook func(txid.ID)
+}
+
+// SetPhase1Hook installs a fault-injection hook that runs after phase one
+// succeeds and before the commit record is written. Experiments use it to
+// partition the network at the in-doubt window.
+func (m *Monitor) SetPhase1Hook(fn func(txid.ID)) { m.phase1Hook = fn }
+
+// Config configures a Monitor.
+type Config struct {
+	System *msg.System
+	// Network is the EXPAND network; nil for a standalone node.
+	Network *expand.Network
+	// MonitorTrailForceDelay simulates the commit-record force latency.
+	MonitorTrailForceDelay time.Duration
+	// MonitorTrail, when non-nil, reuses an existing Monitor Audit Trail —
+	// the durable completion history survives total node failure and a
+	// recovering node's fresh Monitor must see it.
+	MonitorTrail *audit.MonitorTrail
+	// TMPPrimaryCPU / TMPBackupCPU host the TMP pair.
+	TMPPrimaryCPU, TMPBackupCPU int
+}
+
+// New creates and starts the node's TMF monitor, including its TMP pair.
+func New(cfg Config) (*Monitor, error) {
+	node := cfg.System.Node()
+	mat := cfg.MonitorTrail
+	if mat == nil {
+		mat = audit.NewMonitorTrail(cfg.MonitorTrailForceDelay)
+	}
+	m := &Monitor{
+		sys:       cfg.System,
+		node:      node.Name(),
+		net:       cfg.Network,
+		mat:       mat,
+		txs:       make(map[txid.ID]*tcb),
+		seq:       make(map[int]uint64),
+		volumes:   make(map[string]VolumeInfo),
+		safeQueue: make(map[string][]safeMsg),
+		tables:    make([]map[txid.ID]txid.State, node.NumCPUs()),
+	}
+	for i := range m.tables {
+		m.tables[i] = make(map[txid.ID]txid.State)
+	}
+	// When reusing a Monitor Audit Trail after total node failure, resume
+	// per-CPU sequence numbers past everything the trail has seen, so a
+	// recovered node never re-issues a pre-crash transid.
+	if cfg.MonitorTrail != nil {
+		for _, rec := range mat.Records() {
+			if rec.Tx.Home == m.node && rec.Tx.Seq > m.seq[rec.Tx.CPU] {
+				m.seq[rec.Tx.CPU] = rec.Tx.Seq
+			}
+		}
+	}
+	if err := m.startTMP(cfg.TMPPrimaryCPU, cfg.TMPBackupCPU); err != nil {
+		return nil, err
+	}
+	if m.net != nil {
+		m.net.WatchTopology(m.onTopologyChange)
+	}
+	node.Watch(m.onHWEvent)
+	return m, nil
+}
+
+// Node returns the node name.
+func (m *Monitor) Node() string { return m.node }
+
+// MonitorTrail exposes the node's Monitor Audit Trail (used by
+// ROLLFORWARD and the tmfctl utility).
+func (m *Monitor) MonitorTrail() *audit.MonitorTrail { return m.mat }
+
+// AddVolume registers an audited volume with TMF.
+func (m *Monitor) AddVolume(v VolumeInfo) {
+	m.mu.Lock()
+	m.volumes[v.Name] = v
+	m.mu.Unlock()
+}
+
+// Volumes returns the registered volumes.
+func (m *Monitor) Volumes() []VolumeInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]VolumeInfo, 0, len(m.volumes))
+	for _, v := range m.volumes {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Begin starts a transaction whose BEGIN-TRANSACTION ran on the given CPU
+// of this (home) node. The transid is broadcast in "active" state to every
+// processor of the node.
+func (m *Monitor) Begin(cpu int) (txid.ID, error) {
+	c, err := m.sys.Node().CPU(cpu)
+	if err != nil {
+		return txid.ID{}, err
+	}
+	if !c.Up() {
+		return txid.ID{}, fmt.Errorf("%w: cpu %d", hw.ErrCPUDown, cpu)
+	}
+	m.mu.Lock()
+	m.seq[cpu]++
+	id := txid.ID{Home: m.node, CPU: cpu, Seq: m.seq[cpu]}
+	m.txs[id] = &tcb{
+		id:        id,
+		isHome:    true,
+		children:  make(map[string]bool),
+		localVols: make(map[string]bool),
+	}
+	m.stats.begun++
+	m.mu.Unlock()
+	m.broadcast(id, txid.StateActive)
+	return id, nil
+}
+
+// beginRemote installs a transaction transmitted to us from another node.
+// It reports whether the transid was already known here — in which case
+// the sender is NOT this node's parent in the transmission tree and must
+// not treat it as a child for the commit protocol.
+func (m *Monitor) beginRemote(id txid.ID, source string) (alreadyKnown bool) {
+	m.mu.Lock()
+	if _, ok := m.txs[id]; ok {
+		m.mu.Unlock()
+		return true
+	}
+	m.txs[id] = &tcb{
+		id:        id,
+		source:    source,
+		children:  make(map[string]bool),
+		localVols: make(map[string]bool),
+	}
+	m.mu.Unlock()
+	m.broadcast(id, txid.StateActive)
+	return false
+}
+
+// RegisterLocalVolume records that tx touched a volume on this node. The
+// facade wires it to every DISCPROCESS's OnParticipate callback. It fails
+// once the transaction is closed to new work (END in progress, phase one
+// acknowledged, or abort under way), so no operation can slip in after the
+// protocol snapshotted the participant set.
+func (m *Monitor) RegisterLocalVolume(tx txid.ID, volume string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.txs[tx]
+	if !ok {
+		return fmt.Errorf("%w: %s on %s", ErrUnknownTx, tx, m.node)
+	}
+	if t.noNewWork {
+		return fmt.Errorf("%w: %s is past the point of new work", ErrAborted, tx)
+	}
+	t.localVols[volume] = true
+	return nil
+}
+
+// closeToNewWork marks the transaction closed for further operations.
+func (m *Monitor) closeToNewWork(tx txid.ID) {
+	m.mu.Lock()
+	if t, ok := m.txs[tx]; ok {
+		t.noNewWork = true
+	}
+	m.mu.Unlock()
+}
+
+// State returns the transaction's state as replicated on the
+// lowest-numbered up CPU of the node.
+func (m *Monitor) State(tx txid.ID) txid.State {
+	up := m.sys.Node().UpCPUs()
+	m.tabMu.Lock()
+	defer m.tabMu.Unlock()
+	if len(up) == 0 {
+		return txid.StateNone
+	}
+	return m.tables[up[0]][tx]
+}
+
+// StateOnCPU returns the state replica held by one CPU's table.
+func (m *Monitor) StateOnCPU(tx txid.ID, cpu int) txid.State {
+	m.tabMu.Lock()
+	defer m.tabMu.Unlock()
+	if cpu < 0 || cpu >= len(m.tables) {
+		return txid.StateNone
+	}
+	return m.tables[cpu][tx]
+}
+
+// broadcast delivers a state change to every processor of the node over
+// the interprocessor bus, recording the transition for the Figure 3 log.
+func (m *Monitor) broadcast(tx txid.ID, to txid.State) {
+	from := m.State(tx)
+	m.trMu.Lock()
+	tr := Transition{Tx: tx, From: from, To: to}
+	m.transitions = append(m.transitions, tr)
+	if !from.CanTransition(to) {
+		m.violations = append(m.violations, tr)
+	}
+	m.trMu.Unlock()
+
+	node := m.sys.Node()
+	srcCPU := m.tmpCPUOrFirstUp()
+	for _, cpu := range node.UpCPUs() {
+		cpu := cpu
+		err := node.Transfer(srcCPU, cpu, func() {
+			m.tabMu.Lock()
+			if to.Terminal() {
+				// "Once the 'ended'/'aborted' state has completed, the
+				// transid leaves the system." We keep terminal states in
+				// the table briefly for observability; Forget clears them.
+				m.tables[cpu][tx] = to
+			} else {
+				m.tables[cpu][tx] = to
+			}
+			m.tabMu.Unlock()
+		})
+		if err == nil {
+			m.mu.Lock()
+			m.stats.broadcast++
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Forget removes a terminal transaction's replicated state ("the transid
+// leaves the system").
+func (m *Monitor) Forget(tx txid.ID) {
+	m.tabMu.Lock()
+	for _, tab := range m.tables {
+		if tab[tx].Terminal() {
+			delete(tab, tx)
+		}
+	}
+	m.tabMu.Unlock()
+	m.mu.Lock()
+	delete(m.txs, tx)
+	m.mu.Unlock()
+}
+
+// Transitions returns the observed state-transition log and the subset
+// that violated Figure 3 (expected empty).
+func (m *Monitor) Transitions() (all, violations []Transition) {
+	m.trMu.Lock()
+	defer m.trMu.Unlock()
+	return append([]Transition(nil), m.transitions...), append([]Transition(nil), m.violations...)
+}
+
+// Stats returns activity counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{
+		Begun:         m.stats.begun,
+		Committed:     m.stats.committed,
+		Aborted:       m.stats.aborted,
+		Backouts:      m.stats.backouts,
+		BroadcastMsgs: m.stats.broadcast,
+	}
+	m.mu.Unlock()
+	m.sqMu.Lock()
+	for _, q := range m.safeQueue {
+		s.SafeQueueDepth += len(q)
+	}
+	m.sqMu.Unlock()
+	return s
+}
+
+func (m *Monitor) tmpCPUOrFirstUp() int {
+	if m.tmpCPU != nil {
+		if cpu := m.tmpCPU(); cpu >= 0 {
+			return cpu
+		}
+	}
+	up := m.sys.Node().UpCPUs()
+	if len(up) > 0 {
+		return up[0]
+	}
+	return 0
+}
+
+func (m *Monitor) tcb(tx txid.ID) (*tcb, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.txs[tx]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrUnknownTx, tx, m.node)
+	}
+	return t, nil
+}
+
+// snapshotTx copies the fields needed by protocol steps without holding
+// the monitor lock across network calls.
+func (m *Monitor) snapshotTx(tx txid.ID) (isHome bool, source string, children []string, vols []VolumeInfo, phase1Acked bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.txs[tx]
+	if !ok {
+		return false, "", nil, nil, false, fmt.Errorf("%w: %s on %s", ErrUnknownTx, tx, m.node)
+	}
+	for c := range t.children {
+		children = append(children, c)
+	}
+	for v := range t.localVols {
+		if vi, ok := m.volumes[v]; ok {
+			vols = append(vols, vi)
+		}
+	}
+	return t.isHome, t.source, children, vols, t.phase1Acked, nil
+}

@@ -1,0 +1,346 @@
+package tmf
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/pair"
+	"encompass/internal/txid"
+)
+
+// TMP message kinds. Remote-begin and phase one are critical-response:
+// the destination must be reachable and reply affirmatively. Ended and
+// aborting are safe-delivery: delivery is guaranteed whenever transmission
+// becomes possible, but not time-critical.
+const (
+	kindRemoteBegin = "tmp.begin"
+	kindPhase1      = "tmp.phase1"
+	kindEnded       = "tmp.ended"
+	kindAborting    = "tmp.aborting"
+	kindQuery       = "tmp.query"
+)
+
+// tmpName is the registered name of every node's TMP pair.
+const tmpName = "tmp"
+
+// tmpReq is the payload of TMP-to-TMP messages.
+type tmpReq struct {
+	Tx     txid.ID
+	Source string // sending node
+}
+
+// QueryResp answers a disposition query (rollforward negotiation, tmfctl).
+type QueryResp struct {
+	Known     bool
+	Committed bool
+	State     txid.State
+}
+
+// beginResp answers a remote-transaction-begin: AlreadyKnown tells the
+// sender it is not this node's parent in the transmission tree.
+type beginResp struct {
+	AlreadyKnown bool
+}
+
+func init() {
+	msg.RegisterPayload(tmpReq{})
+	msg.RegisterPayload(QueryResp{})
+	msg.RegisterPayload(beginResp{})
+}
+
+// tmpApp is the TMP pair application. All durable coordination state lives
+// in the Monitor (whose authority is the replicated state tables and the
+// Monitor Audit Trail), so checkpoints are empty and takeover is trivial.
+type tmpApp struct {
+	m *Monitor
+}
+
+func (a *tmpApp) Handle(ctx *pair.Ctx, req msg.Message) {
+	switch req.Kind {
+	case kindRemoteBegin:
+		r := req.Payload.(tmpReq)
+		// "Remote transaction begin": broadcast the transid in active
+		// state to all processors on this node.
+		known := a.m.beginRemote(r.Tx, r.Source)
+		ctx.Reply(beginResp{AlreadyKnown: known})
+	case kindPhase1:
+		r := req.Payload.(tmpReq)
+		if err := a.m.phase1Inbound(r.Tx); err != nil {
+			ctx.ReplyErr(err)
+			return
+		}
+		ctx.Reply(nil)
+	case kindEnded:
+		r := req.Payload.(tmpReq)
+		a.m.applyEnded(r.Tx)
+		ctx.Reply(nil)
+	case kindAborting:
+		r := req.Payload.(tmpReq)
+		a.m.applyAborting(r.Tx)
+		ctx.Reply(nil)
+	case kindQuery:
+		r := req.Payload.(tmpReq)
+		resp := QueryResp{State: a.m.State(r.Tx)}
+		if o, ok := a.m.Outcome(r.Tx); ok {
+			resp.Known = true
+			resp.Committed = o.String() == "committed"
+		}
+		ctx.Reply(resp)
+	default:
+		ctx.ReplyErr(fmt.Errorf("tmf: unknown TMP request %q", req.Kind))
+	}
+}
+
+func (a *tmpApp) ApplyCheckpoint(any) {}
+func (a *tmpApp) Snapshot() any       { return nil }
+func (a *tmpApp) Restore(any)         {}
+func (a *tmpApp) TakeOver()           {}
+
+func (m *Monitor) startTMP(primaryCPU, backupCPU int) error {
+	app := &tmpApp{m: m}
+	m.tmpPair = app
+	p, err := pair.Start(m.sys, tmpName, primaryCPU, backupCPU, func() pair.App { return app })
+	if err != nil {
+		return err
+	}
+	m.tmpCPU = p.PrimaryCPU
+	return nil
+}
+
+// tmpCall issues a critical-response message to another node's TMP.
+func (m *Monitor) tmpCall(destNode, kind string, req tmpReq) error {
+	_, err := m.tmpCallResp(destNode, kind, req)
+	return err
+}
+
+func (m *Monitor) tmpCallResp(destNode, kind string, req tmpReq) (msg.Message, error) {
+	req.Source = m.node
+	ctx, cancel := context.WithTimeout(context.Background(), criticalCallTimeout)
+	defer cancel()
+	return m.sys.ClientCall(ctx, m.tmpCPUOrFirstUp(), msg.Addr{Node: destNode, Name: tmpName}, kind, req)
+}
+
+// NoteRemoteSend must be called before the first transmission of a transid
+// to destNode (the File System does this when a SEND or remote disc I/O
+// first targets that node). It performs the critical-response "remote
+// transaction begin" and records destNode as our child in the transmission
+// tree.
+func (m *Monitor) NoteRemoteSend(tx txid.ID, destNode string) error {
+	if destNode == m.node {
+		return nil
+	}
+	m.mu.Lock()
+	t, ok := m.txs[tx]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s on %s", ErrUnknownTx, tx, m.node)
+	}
+	if t.children[destNode] {
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+	r, err := m.tmpCallResp(destNode, kindRemoteBegin, tmpReq{Tx: tx})
+	if err != nil {
+		return fmt.Errorf("%w: remote begin at %s: %v", ErrNodeUnreachable, destNode, err)
+	}
+	if br, ok := r.Payload.(beginResp); ok && br.AlreadyKnown {
+		// destNode already has the transid (it is elsewhere in the
+		// transmission tree); we are not its parent and must not send it
+		// protocol messages. Keeping the graph a tree also keeps the
+		// parent→child protocol-mutex ordering deadlock-free.
+		return nil
+	}
+	m.mu.Lock()
+	t.children[destNode] = true
+	m.mu.Unlock()
+	return nil
+}
+
+// phase1Inbound handles a phase-one request from the node that transmitted
+// the transid to us: refuse if we already aborted unilaterally; otherwise
+// enter "ending", force our trails, recurse to our children, and mark the
+// affirmative reply (after which we can no longer abort unilaterally).
+func (m *Monitor) phase1Inbound(tx txid.ID) error {
+	t, err := m.lockProto(tx)
+	if err != nil {
+		return err
+	}
+	defer t.protoMu.Unlock()
+	st := m.State(tx)
+	if st == txid.StateAborting || st == txid.StateAborted {
+		return fmt.Errorf("%w: %s previously aborted on %s", ErrAborted, tx, m.node)
+	}
+	m.closeToNewWork(tx)
+	if st == txid.StateActive {
+		m.broadcast(tx, txid.StateEnding)
+	}
+	if err := m.phase1Local(tx); err != nil {
+		m.abortLocked(tx, fmt.Sprintf("phase one flush failed: %v", err))
+		return err
+	}
+	if err := m.phase1Children(tx); err != nil {
+		m.abortLocked(tx, fmt.Sprintf("child phase one failed: %v", err))
+		return err
+	}
+	m.mu.Lock()
+	t.phase1Acked = true
+	m.mu.Unlock()
+	return nil
+}
+
+// QueryRemote asks another node's TMP for a transaction's disposition.
+func (m *Monitor) QueryRemote(node string, tx txid.ID) (QueryResp, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), criticalCallTimeout)
+	defer cancel()
+	r, err := m.sys.ClientCall(ctx, m.tmpCPUOrFirstUp(), msg.Addr{Node: node, Name: tmpName}, kindQuery, tmpReq{Tx: tx, Source: m.node})
+	if err != nil {
+		return QueryResp{}, err
+	}
+	return r.Payload.(QueryResp), nil
+}
+
+// --- safe-delivery machinery ---
+
+type safeMsg struct {
+	dest string
+	kind string
+	req  tmpReq
+}
+
+// safeDeliverChildren sends a safe-delivery message to each child node,
+// queueing for retry any that are unreachable. "The sending of
+// safe-delivery messages — whenever transmission becomes possible — is
+// guaranteed, but their delivery is not time-critical."
+func (m *Monitor) safeDeliverChildren(tx txid.ID, kind string) {
+	_, _, children, _, _, err := m.snapshotTx(tx)
+	if err != nil {
+		return
+	}
+	for _, child := range children {
+		m.safeDeliver(safeMsg{dest: child, kind: kind, req: tmpReq{Tx: tx, Source: m.node}})
+	}
+}
+
+func (m *Monitor) safeDeliver(sm safeMsg) {
+	if err := m.tmpCall(sm.dest, sm.kind, sm.req); err != nil {
+		m.sqMu.Lock()
+		m.safeQueue[sm.dest] = append(m.safeQueue[sm.dest], sm)
+		m.sqMu.Unlock()
+	}
+}
+
+// FlushSafeQueue retries queued safe-delivery messages; invoked on
+// topology change and callable directly (tests, tmfctl).
+func (m *Monitor) FlushSafeQueue() {
+	m.sqMu.Lock()
+	queued := m.safeQueue
+	m.safeQueue = make(map[string][]safeMsg)
+	m.sqMu.Unlock()
+	for _, q := range queued {
+		for _, sm := range q {
+			m.safeDeliver(sm)
+		}
+	}
+}
+
+// onTopologyChange reacts to partitions and heals: queued safe-delivery
+// messages are retried, and transactions that involve now-unreachable
+// nodes are aborted where the protocol permits.
+func (m *Monitor) onTopologyChange() {
+	go func() {
+		m.FlushSafeQueue()
+		m.abortUnreachable()
+	}()
+}
+
+// abortUnreachable aborts transactions affected by "complete loss of
+// communication with a network node which participated in the
+// transaction": at the home node, any non-terminal transaction with an
+// unreachable child; at a non-home node, any transaction whose source
+// became unreachable before we acknowledged phase one. A non-home node
+// that acknowledged phase one holds its locks (in-doubt).
+func (m *Monitor) abortUnreachable() {
+	if m.net == nil {
+		return
+	}
+	type victim struct {
+		tx     txid.ID
+		reason string
+	}
+	var victims []victim
+	m.mu.Lock()
+	for id, t := range m.txs {
+		st := txid.StateNone
+		// peek table state without broadcast
+		m.tabMu.Lock()
+		if up := m.sys.Node().UpCPUs(); len(up) > 0 {
+			st = m.tables[up[0]][id]
+		}
+		m.tabMu.Unlock()
+		if st.Terminal() || st == txid.StateAborting {
+			continue
+		}
+		if t.isHome {
+			for child := range t.children {
+				if !m.net.Reachable(m.node, child) {
+					victims = append(victims, victim{id, "lost communication with participant " + child})
+					break
+				}
+			}
+		} else if !t.phase1Acked && t.source != "" && !m.net.Reachable(m.node, t.source) {
+			victims = append(victims, victim{id, "lost communication with source " + t.source})
+		}
+	}
+	m.mu.Unlock()
+	for _, v := range victims {
+		m.abortInternal(v.tx, v.reason)
+	}
+}
+
+// onHWEvent aborts home transactions that began on a failed CPU: "failure
+// of an application server's processor while that server was working on
+// the transaction" and TCP-primary failures both surface as the CPU-down
+// of the processor coordinating the transaction. The facade may install
+// finer-grained policies; this default covers transactions whose
+// BEGIN-TRANSACTION processor died.
+func (m *Monitor) onHWEvent(e hw.Event) {
+	if e.Kind != hw.EventCPUDown {
+		return
+	}
+	var victims []txid.ID
+	m.mu.Lock()
+	for id, t := range m.txs {
+		if t.isHome && id.CPU == e.CPU {
+			m.tabMu.Lock()
+			st := txid.StateNone
+			if up := m.sys.Node().UpCPUs(); len(up) > 0 {
+				st = m.tables[up[0]][id]
+			}
+			m.tabMu.Unlock()
+			if st == txid.StateActive || st == txid.StateEnding {
+				victims = append(victims, id)
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, id := range victims {
+		go m.abortInternal(id, fmt.Sprintf("processor %d failed", e.CPU))
+	}
+}
+
+// Allow time for queued safe deliveries in tests without exporting the
+// queue: WaitSafeQueueEmpty polls until empty or timeout.
+func (m *Monitor) WaitSafeQueueEmpty(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if m.Stats().SafeQueueDepth == 0 {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+// Package txid defines transaction identifiers and transaction states as
+// the paper specifies them.
+//
+// "The transid consists of a sequence number, qualified by the number of
+// the processor in which BEGIN-TRANSACTION was called, qualified by the
+// number of the network node which originated the transaction, designated
+// the 'home' node for the transaction."
+package txid
+
+import (
+	"fmt"
+
+	"encompass/internal/msg"
+)
+
+// ID is a network-wide unique transaction identifier.
+type ID struct {
+	Home string // originating ("home") node
+	CPU  int    // processor where BEGIN-TRANSACTION ran
+	Seq  uint64 // per-CPU sequence number
+}
+
+// IsZero reports whether the ID is unset.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// String renders the transid as \home(cpu).seq, the paper's notation.
+func (id ID) String() string { return fmt.Sprintf(`\%s(%d).%d`, id.Home, id.CPU, id.Seq) }
+
+// State is a transaction state per Figure 3 of the paper.
+type State int
+
+// Transaction states and their transitions (Figure 3):
+//
+//	Active  --END-->   Ending  --phase two--> Ended
+//	Active  --FAILURE/ABORT--> Aborting --backout--> Aborted
+//	Ending  --FAILURE/phase-one refusal--> Aborting
+const (
+	StateNone State = iota // transid not known on this node
+	StateActive
+	StateEnding
+	StateEnded
+	StateAborting
+	StateAborted
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateNone:
+		return "none"
+	case StateActive:
+		return "active"
+	case StateEnding:
+		return "ending"
+	case StateEnded:
+		return "ended"
+	case StateAborting:
+		return "aborting"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateEnded || s == StateAborted }
+
+// CanTransition reports whether moving from s to next is legal per
+// Figure 3. StateNone → StateActive covers BEGIN-TRANSACTION and
+// remote-transaction-begin.
+func (s State) CanTransition(next State) bool {
+	switch s {
+	case StateNone:
+		return next == StateActive
+	case StateActive:
+		return next == StateEnding || next == StateAborting
+	case StateEnding:
+		return next == StateEnded || next == StateAborting
+	case StateAborting:
+		return next == StateAborted
+	default:
+		return false
+	}
+}
+
+func init() {
+	msg.RegisterPayload(ID{})
+}

@@ -1,0 +1,115 @@
+package encompass_test
+
+import (
+	"encompass/internal/txid"
+	"testing"
+
+	"encompass"
+)
+
+func TestTotalNodeFailureRollforward(t *testing.T) {
+	sys := build(t, encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "a", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "va", Audited: true}}},
+			{Name: "b", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "vb", Audited: true}}},
+		},
+	})
+	a := sys.Node("a")
+	sys.CreateFileEverywhere(encompass.LocalFile("f", encompass.KeySequenced, "a", "va"))
+
+	// Committed baseline, then archive.
+	tx1, _ := a.Begin()
+	tx1.Insert("f", "k1", []byte("v1"))
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	arch := a.TakeArchive()
+
+	// Post-archive committed work (must survive) ...
+	tx2, _ := a.Begin()
+	tx2.Insert("f", "k2", []byte("v2"))
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// ... and uncommitted dirty work (must vanish).
+	tx3, _ := a.Begin()
+	tx3.Insert("f", "k3", []byte("dirty"))
+
+	a.Crash()
+	st, err := a.Recover(arch)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if st.VolumesRestored != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	v, err := a.FS.Read("f", "k1")
+	if err != nil || string(v) != "v1" {
+		t.Errorf("k1 = %q, %v", v, err)
+	}
+	v, err = a.FS.Read("f", "k2")
+	if err != nil || string(v) != "v2" {
+		t.Errorf("k2 (post-archive committed) = %q, %v", v, err)
+	}
+	if _, err := a.FS.Read("f", "k3"); err == nil {
+		t.Error("uncommitted k3 survived total node failure")
+	}
+
+	// The node processes transactions again after recovery.
+	tx4, err := a.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx4.Insert("f", "k4", []byte("post-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx4.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh transids do not collide with pre-crash history.
+	if o, ok := a.TMF.Outcome(tx4.ID); !ok || o.String() != "committed" {
+		t.Errorf("post-recovery outcome = %v, %v", o, ok)
+	}
+}
+
+func TestRollforwardNegotiatesWithHomeNode(t *testing.T) {
+	// Distributed transaction homed on b, updating a. After a's total
+	// failure the commit record lives only on b; a's recovery must ask b.
+	sys := build(t, encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "a", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "va", Audited: true}}},
+			{Name: "b", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "vb", Audited: true}}},
+		},
+	})
+	a, b := sys.Node("a"), sys.Node("b")
+	sys.CreateFileEverywhere(encompass.LocalFile("fa", encompass.KeySequenced, "a", "va"))
+
+	arch := a.TakeArchive()
+
+	// b-homed transaction updates a's volume; a crashes in the in-doubt
+	// window (after acknowledging phase one, before learning phase two),
+	// so a's trail holds the forced images but a's Monitor Audit Trail
+	// never records the outcome — only negotiation with the home node can
+	// resolve it.
+	b.TMF.SetPhase1Hook(func(txid.ID) { a.Crash() })
+	tx, _ := b.Begin()
+	if err := tx.Insert("fa", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b.TMF.SetPhase1Hook(nil)
+	st, err := a.Recover(arch)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if st.Negotiated == 0 {
+		t.Errorf("expected negotiation with home node; stats = %+v", st)
+	}
+	v, err := a.FS.Read("fa", "k")
+	if err != nil || string(v) != "v" {
+		t.Errorf("k = %q, %v (committed work lost)", v, err)
+	}
+}

@@ -1,0 +1,68 @@
+package encompass_test
+
+import (
+	"strings"
+	"testing"
+
+	"encompass"
+)
+
+// TestNodeAccessControl exercises ENCOMPASS data base manager feature 5:
+// "security controls by ... network node". A file created with an
+// AllowNodes list rejects requests originating from other nodes, for both
+// reads and transactional updates.
+func TestNodeAccessControl(t *testing.T) {
+	sys := build(t, encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "hq", CPUs: 3, Volumes: []encompass.VolumeSpec{{Name: "vh", Audited: true}}},
+			{Name: "branch", CPUs: 3, Volumes: []encompass.VolumeSpec{{Name: "vb", Audited: true}}},
+		},
+	})
+	hq, branch := sys.Node("hq"), sys.Node("branch")
+
+	restricted := encompass.LocalFile("payroll", encompass.KeySequenced, "hq", "vh")
+	restricted.AllowNodes = []string{"hq"}
+	if err := sys.CreateFileEverywhere(restricted); err != nil {
+		t.Fatal(err)
+	}
+	open := encompass.LocalFile("bulletin", encompass.KeySequenced, "hq", "vh")
+	if err := sys.CreateFileEverywhere(open); err != nil {
+		t.Fatal(err)
+	}
+
+	// The owning node works normally.
+	tx, _ := hq.Begin()
+	if err := tx.Insert("payroll", "emp-1", []byte("salary")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("bulletin", "note-1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A remote node can use the unrestricted file...
+	if _, err := branch.FS.Read("bulletin", "note-1"); err != nil {
+		t.Errorf("open file read from branch: %v", err)
+	}
+	// ...but not the restricted one: reads and writes are both refused.
+	if _, err := branch.FS.Read("payroll", "emp-1"); err == nil || !strings.Contains(err.Error(), "access denied") {
+		t.Errorf("remote read of restricted file: err = %v, want access denied", err)
+	}
+	btx, _ := branch.Begin()
+	err := btx.Insert("payroll", "emp-2", []byte("nope"))
+	if err == nil || !strings.Contains(err.Error(), "access denied") {
+		t.Errorf("remote insert into restricted file: err = %v, want access denied", err)
+	}
+	btx.Abort("denied")
+	if _, err := branch.FS.ReadRange("payroll", "", "", 0); err == nil {
+		t.Error("remote range scan of restricted file should be denied")
+	}
+
+	// Nothing leaked: the restricted file has exactly the hq record.
+	recs, err := hq.FS.ReadRange("payroll", "", "", 0)
+	if err != nil || len(recs) != 1 || recs[0].Key != "emp-1" {
+		t.Errorf("payroll contents = %+v, %v", recs, err)
+	}
+}
