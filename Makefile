@@ -1,0 +1,33 @@
+# Development targets. `make check` is the gate used before merging: the
+# tier-1 suite plus vet and the race-detector runs over the concurrency-
+# heavy packages (commit fan-out, group commit, process pairs).
+
+GO ?= go
+
+.PHONY: all build test check race bench experiments
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector runs over the packages with real concurrency: the TMF
+# commit/abort fan-out, the audit trail's group commit, the DISCPROCESS
+# handlers that reply asynchronously, and the root-level chaos/concurrency
+# tests.
+race:
+	$(GO) test -race ./internal/tmf/... ./internal/audit/... ./internal/discproc/... ./internal/workload/...
+
+check: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(MAKE) race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/tmfbench -exp all

@@ -10,6 +10,7 @@ package encompass_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -276,6 +277,99 @@ func BenchmarkF1TakeoverLatency(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchFanoutSystem builds nodes each carrying several audited volumes in
+// separate audit groups (own trail each), so one transaction touching every
+// file has many participants to force and visit at commit.
+func benchFanoutSystem(b *testing.B, nodes, vols, fanout int, auditDelay time.Duration) (*encompass.System, []string, []string) {
+	b.Helper()
+	var specs []encompass.NodeSpec
+	var names, files []string
+	for i := 0; i < nodes; i++ {
+		name := string(rune('a' + i))
+		names = append(names, name)
+		var vspecs []encompass.VolumeSpec
+		for v := 0; v < vols; v++ {
+			vspecs = append(vspecs, encompass.VolumeSpec{
+				Name: fmt.Sprintf("v%s%d", name, v), Audited: true, CacheSize: 1024,
+			})
+		}
+		specs = append(specs, encompass.NodeSpec{Name: name, CPUs: 4, Volumes: vspecs})
+	}
+	sys, err := encompass.Build(encompass.Config{
+		Nodes: specs, AuditForceDelay: auditDelay, CommitFanout: fanout,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range names {
+		for v := 0; v < vols; v++ {
+			f := fmt.Sprintf("f%s%d", name, v)
+			if err := sys.CreateFileEverywhere(encompass.LocalFile(f, encompass.KeySequenced, name, fmt.Sprintf("v%s%d", name, v))); err != nil {
+				b.Fatal(err)
+			}
+			files = append(files, f)
+		}
+	}
+	return sys, names, files
+}
+
+func benchCommitFanout(b *testing.B, fanout int) {
+	sys, names, files := benchFanoutSystem(b, 3, 3, fanout, 200*time.Microsecond)
+	home := sys.Node(names[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := home.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range files {
+			if err := tx.Insert(f, fmt.Sprintf("k%09d", i), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT9CommitFanoutSequential drives the commit protocol one
+// participant at a time (the seed behaviour); ...Parallel fans phase one
+// and phase two out across all nine participants concurrently.
+func BenchmarkT9CommitFanoutSequential(b *testing.B) { benchCommitFanout(b, 1) }
+func BenchmarkT9CommitFanoutParallel(b *testing.B)   { benchCommitFanout(b, 0) }
+
+// BenchmarkT9GroupCommit runs concurrent single-volume committers against
+// one audit trail: the group-commit machinery lets one simulated disc write
+// cover many committers, reported as forces/tx (1.0 = no sharing).
+func BenchmarkT9GroupCommit(b *testing.B) {
+	sys, names, files := benchFanoutSystem(b, 1, 1, 0, 200*time.Microsecond)
+	node := sys.Node(names[0])
+	var keys atomic.Uint64
+	// The simulated disc force is a sleep, not CPU work: scale the committer
+	// count past GOMAXPROCS so forces overlap even on a single-CPU host.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tx, err := node.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Insert(files[0], fmt.Sprintf("k%09d", keys.Add(1)), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := node.Volumes["va0"].Trail.ForceStats()
+	b.ReportMetric(float64(st.Forces)/float64(b.N), "forces/tx")
+	b.ReportMetric(float64(st.MaxBatch), "maxbatch")
 }
 
 // BenchmarkF3StateChange measures one full transaction lifecycle's state

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	tmfbench -exp all      # every experiment (default)
-//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T7 (claims)
+//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T9 (claims)
 //	tmfbench -list         # list experiments
+//	tmfbench -exp T9 -fanout 4 -batchwindow 200us   # tune T9's knobs
 package main
 
 import (
@@ -31,12 +32,17 @@ var descriptions = []struct{ id, title string }{
 	{"T6", "broadcast cost vs CPUs; participant-only across network"},
 	{"T7", "update availability under partition"},
 	{"T8", "availability through processor failure: NonStop vs conventional restart"},
+	{"T9", "parallel commit fan-out and audit group commit"},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: F1-F4, T1-T8, or all")
+	exp := flag.String("exp", "all", "experiment to run: F1-F4, T1-T9, or all")
 	list := flag.Bool("list", false, "list experiments and exit")
+	fanout := flag.Int("fanout", 0, "T9: bound on concurrent commit protocol calls (0 = one goroutine per participant)")
+	batchWindow := flag.Duration("batchwindow", 0, "T9: group-commit coalescing window (0 = write immediately)")
 	flag.Parse()
+	experiments.T9Fanout = *fanout
+	experiments.T9BatchWindow = *batchWindow
 
 	if *list {
 		for _, d := range descriptions {

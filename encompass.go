@@ -27,6 +27,7 @@ package encompass
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"encompass/internal/audit"
@@ -79,6 +80,15 @@ type Config struct {
 	AuditForceDelay time.Duration
 	// MonitorForceDelay simulates the commit-record force latency.
 	MonitorForceDelay time.Duration
+	// CommitFanout bounds concurrent calls per commit/abort protocol step
+	// (phase-one flushes and child requests, phase-two releases, freezes,
+	// undo sends). 0 = one goroutine per participant (the default,
+	// fastest); 1 = the sequential seed behaviour, kept for ablation.
+	CommitFanout int
+	// AuditBatchWindow is an optional group-commit coalescing window: a
+	// trail force leader waits this long before writing so more
+	// concurrent committers join the batch. 0 writes immediately.
+	AuditBatchWindow time.Duration
 }
 
 // Volume bundles the running pieces serving one disc volume.
@@ -100,7 +110,7 @@ type Node struct {
 	Volumes map[string]*Volume
 
 	netw     *expand.Network
-	beginCPU int
+	beginCPU atomic.Uint64
 }
 
 // System is the running simulation: all nodes plus the network.
@@ -158,6 +168,7 @@ func buildNode(net *expand.Network, ns NodeSpec, cfg Config) (*Node, error) {
 		MonitorTrailForceDelay: cfg.MonitorForceDelay,
 		TMPPrimaryCPU:          0,
 		TMPBackupCPU:           1 % ns.CPUs,
+		CommitFanout:           cfg.CommitFanout,
 	})
 	if err != nil {
 		return nil, err
@@ -184,6 +195,7 @@ func buildNode(net *expand.Network, ns NodeSpec, cfg Config) (*Node, error) {
 			trail = trails[group]
 			if trail == nil {
 				trail = audit.NewTrail("audit-"+group, cfg.AuditForceDelay)
+				trail.SetBatchWindow(cfg.AuditBatchWindow)
 				trails[group] = trail
 				pcpu := i % ns.CPUs
 				bcpu := (i + 1) % ns.CPUs
@@ -316,8 +328,7 @@ func (n *Node) Begin() (*Tx, error) {
 	if len(up) == 0 {
 		return nil, fmt.Errorf("encompass: node %s has no up CPUs", n.Name)
 	}
-	n.beginCPU++
-	cpu := up[n.beginCPU%len(up)]
+	cpu := up[int(n.beginCPU.Add(1))%len(up)]
 	id, err := n.TMF.Begin(cpu)
 	if err != nil {
 		return nil, err

@@ -121,16 +121,16 @@ func TestMonitorTrailCommitPoint(t *testing.T) {
 	if _, ok := m.OutcomeOf(tx(1)); ok {
 		t.Error("unknown tx has outcome")
 	}
-	if got := m.Append(tx(1), OutcomeCommitted); got != OutcomeCommitted {
-		t.Errorf("Append = %v", got)
+	if got, isNew := m.Append(tx(1), OutcomeCommitted); got != OutcomeCommitted || !isNew {
+		t.Errorf("Append = %v, %v", got, isNew)
 	}
 	o, ok := m.OutcomeOf(tx(1))
 	if !ok || o != OutcomeCommitted {
 		t.Errorf("OutcomeOf = %v, %v", o, ok)
 	}
 	// First recorded outcome wins: a disposition never changes.
-	if got := m.Append(tx(1), OutcomeAborted); got != OutcomeCommitted {
-		t.Errorf("re-append returned %v, want committed (first wins)", got)
+	if got, isNew := m.Append(tx(1), OutcomeAborted); got != OutcomeCommitted || isNew {
+		t.Errorf("re-append returned %v, %v, want committed (first wins) and not new", got, isNew)
 	}
 	m.Append(tx(2), OutcomeAborted)
 	committed := m.Committed()
@@ -264,7 +264,7 @@ func TestMonitorTrailConcurrentFirstOutcomeWins(t *testing.T) {
 			if w%2 == 1 {
 				o = OutcomeAborted
 			}
-			outcomes[w] = m.Append(tx(7), o)
+			outcomes[w], _ = m.Append(tx(7), o)
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,111 @@
+package audit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitCoalescesConcurrentForces drives many committers at one
+// trail and checks that the group-commit machinery services them with far
+// fewer physical writes than force requests: whoever arrives while a write
+// is in flight rides along on it (or on the next leader's write) instead of
+// paying the disc latency alone.
+func TestGroupCommitCoalescesConcurrentForces(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 4
+		delay   = 3 * time.Millisecond
+	)
+	tr := NewTrail("a1", delay)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				lsn := tr.Append(img(tx(uint64(w+1)), "k", ImageUpdate))
+				tr.Force(lsn)
+				if !tr.Forced(lsn) {
+					t.Errorf("worker %d iter %d: record not durable after Force", w, i)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got, appended := tr.ForceCount(), tr.AppendedLSN(); !tr.Forced(appended) {
+		t.Errorf("trail not fully durable: forcecount=%d appended=%d", got, appended)
+	}
+	st := tr.ForceStats()
+	total := uint64(workers * iters)
+	if st.Forces >= total {
+		t.Errorf("no coalescing: %d physical forces for %d committer forces", st.Forces, total)
+	}
+	if st.Requests < st.Forces {
+		t.Errorf("stats inconsistent: requests=%d < forces=%d", st.Requests, st.Forces)
+	}
+	t.Logf("group commit: %d committer forces, %d requests, %d physical writes, max batch %d",
+		total, st.Requests, st.Forces, st.MaxBatch)
+}
+
+// TestForceAlreadyDurableIsFree checks that a force of an already-durable
+// prefix neither pays latency nor shows up in the group-commit counters.
+func TestForceAlreadyDurableIsFree(t *testing.T) {
+	tr := NewTrail("a1", 2*time.Millisecond)
+	lsn := tr.Append(img(tx(1), "k", ImageInsert))
+	tr.Force(lsn)
+	before := tr.ForceStats()
+	if before.Forces != 1 || before.Requests != 1 {
+		t.Fatalf("after first force: %+v", before)
+	}
+	start := time.Now()
+	tr.Force(lsn)
+	if time.Since(start) > time.Millisecond {
+		t.Error("redundant force paid latency")
+	}
+	after := tr.ForceStats()
+	if after != before {
+		t.Errorf("redundant force changed stats: %+v -> %+v", before, after)
+	}
+}
+
+// TestBatchWindowCoalescesStaggeredCommitters checks the optional coalescing
+// window: committers arriving a few milliseconds apart — too spread out to
+// overlap a bare write — are still gathered into one physical force when the
+// leader waits out the window before writing.
+func TestBatchWindowCoalescesStaggeredCommitters(t *testing.T) {
+	const committers = 5
+	tr := NewTrail("a1", time.Millisecond)
+	tr.SetBatchWindow(60 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < committers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 5 * time.Millisecond)
+			lsn := tr.Append(img(tx(uint64(i+1)), "k", ImageInsert))
+			tr.Force(lsn)
+			if !tr.Forced(lsn) {
+				t.Errorf("committer %d not durable after Force", i)
+			}
+		}()
+	}
+	wg.Wait()
+	st := tr.ForceStats()
+	if st.Forces != 1 {
+		t.Errorf("physical forces = %d, want 1 (window should gather all %d committers)", st.Forces, committers)
+	}
+	if st.Requests != committers {
+		t.Errorf("requests = %d, want %d", st.Requests, committers)
+	}
+	if st.MaxBatch != committers {
+		t.Errorf("max batch = %d, want %d", st.MaxBatch, committers)
+	}
+}

@@ -53,14 +53,15 @@ func NewMonitorTrail(forceDelay time.Duration) *MonitorTrail {
 	return &MonitorTrail{forceDelay: forceDelay, bySeq: make(map[txid.ID]Outcome), nextSeq: 1}
 }
 
-// Append durably records a completion. Re-recording the same outcome is
+// Append durably records a completion, reporting the winning outcome and
+// whether this call recorded it. Re-recording the same outcome is
 // idempotent; the first recorded outcome wins (a transaction never changes
 // disposition once written).
-func (m *MonitorTrail) Append(tx txid.ID, o Outcome) Outcome {
+func (m *MonitorTrail) Append(tx txid.ID, o Outcome) (Outcome, bool) {
 	m.mu.Lock()
 	if prev, ok := m.bySeq[tx]; ok {
 		m.mu.Unlock()
-		return prev
+		return prev, false
 	}
 	m.records = append(m.records, Completion{Seq: m.nextSeq, Tx: tx, Outcome: o})
 	m.bySeq[tx] = o
@@ -71,7 +72,7 @@ func (m *MonitorTrail) Append(tx txid.ID, o Outcome) Outcome {
 	if m.forceDelay > 0 {
 		time.Sleep(m.forceDelay)
 	}
-	return o
+	return o, true
 }
 
 // OutcomeOf returns a transaction's recorded completion, if any.

@@ -67,12 +67,21 @@ func (a *processApp) Handle(ctx *pair.Ctx, m msg.Message) {
 		ctx.Reply(AppendResp{LastLSN: last})
 	case KindForce:
 		req := m.Payload.(ForceReq)
-		if req.UpTo == 0 {
-			a.trail.ForceAll()
-		} else {
-			a.trail.Force(req.UpTo)
-		}
-		ctx.Reply(nil)
+		// A force blocks for the simulated disc latency. Served inline it
+		// would stall this single-goroutine process — serializing
+		// concurrent committers' forces and blocking appends behind each
+		// one — so hand it to the trail's group-commit machinery on its
+		// own goroutine and reply once durable. The trail coalesces
+		// concurrent requests into one physical write; Reply is safe from
+		// another goroutine (it only resolves the caller's waiter).
+		go func() {
+			if req.UpTo == 0 {
+				a.trail.ForceAll()
+			} else {
+				a.trail.Force(req.UpTo)
+			}
+			ctx.Reply(nil)
+		}()
 	case KindScan:
 		req := m.Payload.(ScanReq)
 		ctx.Reply(ScanResp{Images: a.trail.ImagesForUnforced(req.Tx)})

@@ -426,17 +426,27 @@ func (a *app) handleUndo(ctx *pair.Ctx, m msg.Message) {
 // handleFlush write-forces the volume's audit trail (phase one of commit).
 // Forcing everything appended so far is conservative and correct: the
 // trail treats already-durable prefixes as free, and unrelated records
-// forced early are simply group-committed.
+// forced early are simply group-committed. The force blocks for the
+// simulated disc latency, so it runs on its own goroutine: served inline
+// it would stall this single-goroutine DISCPROCESS, serializing
+// concurrent committers' phase ones and blocking every other
+// transaction's operations on the volume behind each force. The goroutine
+// touches no app state — only the immutable audit client handle — and the
+// commit protocol still waits for the reply before writing the commit
+// record, so durability-before-commit is preserved per transaction.
 func (a *app) handleFlush(ctx *pair.Ctx, m msg.Message) {
 	if !a.audited() {
 		ctx.Reply(nil)
 		return
 	}
-	if err := a.proc.cfg.Audit.Force(ctx.Proc().PID().CPU, 0); err != nil {
-		ctx.ReplyErr(err)
-		return
-	}
-	ctx.Reply(nil)
+	cl, cpu := a.proc.cfg.Audit, ctx.Proc().PID().CPU
+	go func() {
+		if err := cl.Force(cpu, 0); err != nil {
+			ctx.ReplyErr(err)
+			return
+		}
+		ctx.Reply(nil)
+	}()
 }
 
 // endedSet guards against operations arriving after end-of-transaction.

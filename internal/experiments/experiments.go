@@ -75,7 +75,7 @@ func (r *Report) String() string {
 func All() []*Report {
 	reports := []*Report{
 		F1(), F2(), F3(), F4(),
-		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(),
+		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(),
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
 	return reports
@@ -111,8 +111,10 @@ func Run(id string) ([]*Report, error) {
 		return []*Report{T7()}, nil
 	case "T8":
 		return []*Report{T8()}, nil
+	case "T9":
+		return []*Report{T9()}, nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T8, all)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T9, all)", id)
 	}
 }
 

@@ -42,6 +42,7 @@ func TestT8(t *testing.T) {
 	}
 	check(t, T8())
 }
+func TestT9(t *testing.T) { check(t, T9()) }
 
 func TestRunDispatch(t *testing.T) {
 	if _, err := Run("bogus"); err == nil {

@@ -2,7 +2,10 @@ package tmf
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"encompass/internal/audit"
@@ -11,10 +14,17 @@ import (
 	"encompass/internal/txid"
 )
 
-// protocol timeouts
+// protocol timeouts and retry bounds
 const (
 	volCallTimeout      = 5 * time.Second
 	criticalCallTimeout = 5 * time.Second
+
+	// volRetries bounds the retry of best-effort phase-two volume calls
+	// (lock release, freeze, undo, backout scans). A transient DISCPROCESS
+	// timeout must not leak locks or silently skip a trail's before-images.
+	volRetries = 3
+	// volRetryBackoff is the linear per-attempt backoff between retries.
+	volRetryBackoff = 2 * time.Millisecond
 )
 
 // callVolume issues a request to a volume's DISCPROCESS on this node.
@@ -22,6 +32,21 @@ func (m *Monitor) callVolume(vi VolumeInfo, kind string, payload any) error {
 	ctx, cancel := context.WithTimeout(context.Background(), volCallTimeout)
 	defer cancel()
 	_, err := m.sys.ClientCall(ctx, m.tmpCPUOrFirstUp(), msg.Addr{Name: vi.DiscName}, kind, payload)
+	return err
+}
+
+// callVolumeRetry retries a volume call with bounded linear backoff and
+// returns the last error if every attempt failed.
+func (m *Monitor) callVolumeRetry(vi VolumeInfo, kind string, payload any) error {
+	var err error
+	for attempt := 0; attempt < volRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * volRetryBackoff)
+		}
+		if err = m.callVolume(vi, kind, payload); err == nil {
+			return nil
+		}
+	}
 	return err
 }
 
@@ -62,11 +87,7 @@ func (m *Monitor) End(tx txid.ID) error {
 	m.closeToNewWork(tx)
 	// Phase one: enter "ending", force audit records everywhere.
 	m.broadcast(tx, txid.StateEnding)
-	err = m.phase1Local(tx)
-	if err == nil {
-		err = m.phase1Children(tx)
-	}
-	if err != nil {
+	if err := m.phase1(tx); err != nil {
 		m.abortLocked(tx, fmt.Sprintf("phase one failed: %v", err))
 		return fmt.Errorf("%w: %s: phase one failed: %v", ErrAborted, tx, err)
 	}
@@ -75,73 +96,131 @@ func (m *Monitor) End(tx txid.ID) error {
 		// used by the in-doubt experiments.
 		hook(tx)
 	}
-	// Commit point: the commit record in the Monitor Audit Trail.
-	m.mat.Append(tx, audit.OutcomeCommitted)
+	// Commit point: the commit record in the Monitor Audit Trail. The
+	// committed counter moves with the record (recordOutcome), so Stats
+	// agrees with the trail no matter how far phase two has progressed.
+	m.recordOutcome(tx, audit.OutcomeCommitted)
 	m.broadcast(tx, txid.StateEnded)
-	m.mu.Lock()
-	m.stats.committed++
-	m.mu.Unlock()
 	// Phase two: release locks locally; safe-delivery to children.
 	m.releaseLocal(tx)
 	m.safeDeliverChildren(tx, kindEnded)
 	return nil
 }
 
-// phase1Local forces this node's audit trails for the transaction.
+// recordOutcome writes the transaction's completion record to the Monitor
+// Audit Trail and bumps the matching counter only when the record is new,
+// so the committed/aborted counters always equal the trail's contents.
+// (End previously counted committed before phase two ran, and applyEnded
+// recorded the outcome without counting at all.)
+func (m *Monitor) recordOutcome(tx txid.ID, o audit.Outcome) {
+	got, isNew := m.mat.Append(tx, o)
+	if !isNew || got != o {
+		return
+	}
+	m.mu.Lock()
+	switch o {
+	case audit.OutcomeCommitted:
+		m.stats.committed++
+	case audit.OutcomeAborted:
+		m.stats.aborted++
+	}
+	m.mu.Unlock()
+}
+
+// phase1 runs both halves of phase one — forcing this node's audit trails
+// and the critical-response request to child nodes — in parallel. Both
+// must succeed for the commit to proceed; the first error wins. With
+// CommitFanout == 1 the halves run sequentially, reproducing the seed's
+// latency for the ablation benchmark.
+func (m *Monitor) phase1(tx txid.ID) error {
+	if m.fanout == 1 {
+		if err := m.phase1Local(tx); err != nil {
+			return err
+		}
+		return m.phase1Children(tx)
+	}
+	errc := make(chan error, 2)
+	go func() { errc <- m.phase1Local(tx) }()
+	go func() { errc <- m.phase1Children(tx) }()
+	err := <-errc
+	if e := <-errc; err == nil {
+		err = e
+	}
+	return err
+}
+
+// phase1Local forces this node's audit trails for the transaction, one
+// concurrent flush per participating volume (each flush blocks for the
+// trail's simulated disc-force latency, so the sequential seed paid the
+// sum of the forces; the fan-out pays the max, and flushes that share a
+// trail are coalesced by the trail's group commit).
 func (m *Monitor) phase1Local(tx txid.ID) error {
 	_, _, _, vols, _, err := m.snapshotTx(tx)
 	if err != nil {
 		return err
 	}
-	for _, vi := range vols {
+	return fanOut(m.fanout, vols, func(vi VolumeInfo) error {
 		if err := m.callVolume(vi, discproc.KindFlush, discproc.FlushReq{Tx: tx}); err != nil {
 			return fmt.Errorf("flush %s: %w", vi.Name, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // phase1Children sends the critical-response phase-one request to every
-// node this node directly transmitted the transid to. "For critical
-// response messages, the destination TMP must be accessible at the time
-// the message is initiated, and it must reply with an affirmative
-// response in order for the transaction state change to proceed."
+// node this node directly transmitted the transid to, in parallel. "For
+// critical response messages, the destination TMP must be accessible at
+// the time the message is initiated, and it must reply with an affirmative
+// response in order for the transaction state change to proceed." Children
+// are independent subtrees of the transmission tree, so their phase-one
+// work (which recurses to their own children) proceeds concurrently.
 func (m *Monitor) phase1Children(tx txid.ID) error {
 	_, _, children, _, _, err := m.snapshotTx(tx)
 	if err != nil {
 		return err
 	}
-	for _, child := range children {
+	return fanOut(m.fanout, children, func(child string) error {
 		if err := m.tmpCall(child, kindPhase1, tmpReq{Tx: tx}); err != nil {
 			return fmt.Errorf("phase one to %s: %w", child, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // releaseLocal tells every participating DISCPROCESS on this node to
-// release the transaction's locks (phase two).
+// release the transaction's locks (phase two), in parallel and with
+// bounded retry: the seed discarded these errors, so one transient
+// DISCPROCESS timeout leaked the transaction's locks on that volume until
+// manual intervention. A volume that still fails after the retries is
+// counted in Stats.UnreleasedVolumes.
 func (m *Monitor) releaseLocal(tx txid.ID) {
 	_, _, _, vols, _, err := m.snapshotTx(tx)
 	if err != nil {
 		return
 	}
-	for _, vi := range vols {
-		_ = m.callVolume(vi, discproc.KindEndTx, discproc.EndTxReq{Tx: tx})
-	}
+	_ = fanOut(m.fanout, vols, func(vi VolumeInfo) error {
+		if err := m.callVolumeRetry(vi, discproc.KindEndTx, discproc.EndTxReq{Tx: tx}); err != nil {
+			m.mu.Lock()
+			m.stats.unreleased++
+			m.mu.Unlock()
+		}
+		return nil
+	})
 }
 
 // freezeLocal marks the transaction ended-for-new-work at every
 // participating DISCPROCESS, while its locks stay held. Run before backout
-// so no straggler operation can interleave with the undo.
+// so no straggler operation can interleave with the undo. Freezes fan out
+// in parallel with bounded retry.
 func (m *Monitor) freezeLocal(tx txid.ID) {
 	_, _, _, vols, _, err := m.snapshotTx(tx)
 	if err != nil {
 		return
 	}
-	for _, vi := range vols {
-		_ = m.callVolume(vi, discproc.KindFreeze, discproc.EndTxReq{Tx: tx})
-	}
+	_ = fanOut(m.fanout, vols, func(vi VolumeInfo) error {
+		_ = m.callVolumeRetry(vi, discproc.KindFreeze, discproc.EndTxReq{Tx: tx})
+		return nil
+	})
 }
 
 // Abort backs out a transaction: voluntary (ABORT-TRANSACTION /
@@ -183,7 +262,9 @@ func (m *Monitor) abortInternal(tx txid.ID, reason string) {
 // "aborting", freeze, backout of local updates via before-images, abort
 // record, state "aborted", lock release, safe-delivery of the abort to
 // child nodes (each node backs out its own updates from its own trails,
-// "without the need for communication with other nodes").
+// "without the need for communication with other nodes"). A backout that
+// could not read every trail or apply every undo is surfaced in the
+// recorded abort reason rather than dropped.
 func (m *Monitor) abortLocked(tx txid.ID, reason string) {
 	if st := m.State(tx); st == txid.StateAborting || st.Terminal() {
 		return
@@ -191,11 +272,12 @@ func (m *Monitor) abortLocked(tx txid.ID, reason string) {
 	m.closeToNewWork(tx)
 	m.broadcast(tx, txid.StateAborting)
 	m.freezeLocal(tx)
-	m.backoutLocal(tx)
-	m.mat.Append(tx, audit.OutcomeAborted)
+	if boErr := m.backoutLocal(tx); boErr != nil {
+		reason = fmt.Sprintf("%s; backout incomplete: %v", reason, boErr)
+	}
+	m.recordOutcome(tx, audit.OutcomeAborted)
 	m.broadcast(tx, txid.StateAborted)
 	m.mu.Lock()
-	m.stats.aborted++
 	if t, ok := m.txs[tx]; ok {
 		t.abortReason = reason
 	}
@@ -204,13 +286,30 @@ func (m *Monitor) abortLocked(tx txid.ID, reason string) {
 	m.safeDeliverChildren(tx, kindAborting)
 }
 
+// AbortReason returns the reason recorded when tx was aborted on this
+// node (empty if the transaction is unknown or was not aborted).
+func (m *Monitor) AbortReason(tx txid.ID) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.txs[tx]; ok {
+		return t.abortReason
+	}
+	return ""
+}
+
 // backoutLocal is the BACKOUTPROCESS: it collects the transaction's
 // before-images from every local audit trail and applies them, newest
-// first, through the owning DISCPROCESSes.
-func (m *Monitor) backoutLocal(tx txid.ID) {
+// first, through the owning DISCPROCESSes. Trail scans are retried with
+// bounded backoff; a trail that still cannot be read is counted in
+// Stats.BackoutScanFailures and reported to the caller — the seed
+// silently skipped such a trail, leaving its images un-undone. Per-volume
+// undo sends fan out in parallel (volumes are independent; each applies
+// its own images in reverse LSN order), best-effort with every failure
+// collected into the returned error.
+func (m *Monitor) backoutLocal(tx txid.ID) error {
 	_, _, _, vols, _, err := m.snapshotTx(tx)
 	if err != nil || len(vols) == 0 {
-		return
+		return nil
 	}
 	m.mu.Lock()
 	m.stats.backouts++
@@ -226,15 +325,35 @@ func (m *Monitor) backoutLocal(tx txid.ID) {
 	for _, vi := range vols {
 		byVol[vi.Name] = &volImages{vi: vi}
 	}
+	var trailNames []string
 	scanned := make(map[string]bool)
 	for _, vi := range vols {
 		if vi.AuditName == "" || scanned[vi.AuditName] {
 			continue
 		}
 		scanned[vi.AuditName] = true
-		cl := audit.NewClient(m.sys, vi.AuditName)
-		imgs, err := cl.Scan(cpu, tx)
-		if err != nil {
+		trailNames = append(trailNames, vi.AuditName)
+	}
+	sort.Strings(trailNames)
+
+	var errs []error
+	for _, trail := range trailNames {
+		cl := audit.NewClient(m.sys, trail)
+		var imgs []audit.Image
+		var scanErr error
+		for attempt := 0; attempt < volRetries; attempt++ {
+			if attempt > 0 {
+				time.Sleep(time.Duration(attempt) * volRetryBackoff)
+			}
+			if imgs, scanErr = cl.Scan(cpu, tx); scanErr == nil {
+				break
+			}
+		}
+		if scanErr != nil {
+			m.mu.Lock()
+			m.stats.backoutScanFails++
+			m.mu.Unlock()
+			errs = append(errs, fmt.Errorf("scan of trail %s failed: %w", trail, scanErr))
 			continue
 		}
 		for _, img := range imgs {
@@ -243,16 +362,34 @@ func (m *Monitor) backoutLocal(tx txid.ID) {
 			}
 		}
 	}
+
+	var targets []*volImages
 	for _, v := range byVol {
-		if len(v.images) == 0 {
-			continue
+		if len(v.images) > 0 {
+			targets = append(targets, v)
 		}
+	}
+	undoErr := fanOut(m.fanout, targets, func(v *volImages) error {
 		rev := make([]audit.Image, len(v.images))
 		for i, img := range v.images {
 			rev[len(v.images)-1-i] = img
 		}
-		_ = m.callVolume(v.vi, discproc.KindUndo, discproc.UndoReq{Tx: tx, Images: rev})
+		if err := m.callVolumeRetry(v.vi, discproc.KindUndo, discproc.UndoReq{Tx: tx, Images: rev}); err != nil {
+			return fmt.Errorf("undo on %s: %w", v.vi.Name, err)
+		}
+		return nil
+	})
+	if undoErr != nil {
+		errs = append(errs, undoErr)
 	}
+	if len(errs) == 0 {
+		return nil
+	}
+	parts := make([]string, len(errs))
+	for i, e := range errs {
+		parts[i] = e.Error()
+	}
+	return errors.New(strings.Join(parts, "; "))
 }
 
 // Outcome reports the transaction's disposition from this node's Monitor
@@ -298,7 +435,7 @@ func (m *Monitor) applyEndedLocked(tx txid.ID) {
 		return
 	}
 	m.closeToNewWork(tx)
-	m.mat.Append(tx, audit.OutcomeCommitted)
+	m.recordOutcome(tx, audit.OutcomeCommitted)
 	m.broadcast(tx, txid.StateEnded)
 	m.releaseLocal(tx)
 	m.safeDeliverChildren(tx, kindEnded)

@@ -94,12 +94,18 @@ type tcb struct {
 
 // Stats counts TMF activity on a node.
 type Stats struct {
-	Begun          uint64
-	Committed      uint64
-	Aborted        uint64
-	Backouts       uint64
-	BroadcastMsgs  uint64
-	SafeQueueDepth int
+	Begun         uint64
+	Committed     uint64
+	Aborted       uint64
+	Backouts      uint64
+	BroadcastMsgs uint64
+	// UnreleasedVolumes counts volumes whose phase-two lock release still
+	// failed after bounded retry (locks leaked until operator action).
+	UnreleasedVolumes uint64
+	// BackoutScanFailures counts audit-trail scans the BACKOUTPROCESS
+	// could not complete after bounded retry (backout incomplete).
+	BackoutScanFailures uint64
+	SafeQueueDepth      int
 }
 
 // Monitor is the per-node TMF instance.
@@ -129,7 +135,12 @@ type Monitor struct {
 
 	stats struct {
 		begun, committed, aborted, backouts, broadcast uint64
+		unreleased, backoutScanFails                   uint64
 	}
+
+	// fanout bounds concurrent protocol calls per commit/abort step
+	// (0 = one goroutine per participant, 1 = sequential).
+	fanout int
 
 	tmpPair *tmpApp
 	tmpCPU  func() int
@@ -158,6 +169,12 @@ type Config struct {
 	MonitorTrail *audit.MonitorTrail
 	// TMPPrimaryCPU / TMPBackupCPU host the TMP pair.
 	TMPPrimaryCPU, TMPBackupCPU int
+	// CommitFanout bounds how many concurrent calls each step of the
+	// commit/abort protocol issues (phase-one flushes and child requests,
+	// phase-two releases, freezes and undo sends). 0 means one goroutine
+	// per participant; 1 reproduces the sequential seed behaviour and is
+	// kept for the fan-out ablation benchmark.
+	CommitFanout int
 }
 
 // New creates and starts the node's TMF monitor, including its TMP pair.
@@ -177,6 +194,7 @@ func New(cfg Config) (*Monitor, error) {
 		volumes:   make(map[string]VolumeInfo),
 		safeQueue: make(map[string][]safeMsg),
 		tables:    make([]map[txid.ID]txid.State, node.NumCPUs()),
+		fanout:    cfg.CommitFanout,
 	}
 	for i := range m.tables {
 		m.tables[i] = make(map[txid.ID]txid.State)
@@ -386,11 +404,13 @@ func (m *Monitor) Transitions() (all, violations []Transition) {
 func (m *Monitor) Stats() Stats {
 	m.mu.Lock()
 	s := Stats{
-		Begun:         m.stats.begun,
-		Committed:     m.stats.committed,
-		Aborted:       m.stats.aborted,
-		Backouts:      m.stats.backouts,
-		BroadcastMsgs: m.stats.broadcast,
+		Begun:               m.stats.begun,
+		Committed:           m.stats.committed,
+		Aborted:             m.stats.aborted,
+		Backouts:            m.stats.backouts,
+		BroadcastMsgs:       m.stats.broadcast,
+		UnreleasedVolumes:   m.stats.unreleased,
+		BackoutScanFailures: m.stats.backoutScanFails,
 	}
 	m.mu.Unlock()
 	m.sqMu.Lock()

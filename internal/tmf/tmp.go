@@ -178,12 +178,10 @@ func (m *Monitor) phase1Inbound(tx txid.ID) error {
 	if st == txid.StateActive {
 		m.broadcast(tx, txid.StateEnding)
 	}
-	if err := m.phase1Local(tx); err != nil {
-		m.abortLocked(tx, fmt.Sprintf("phase one flush failed: %v", err))
-		return err
-	}
-	if err := m.phase1Children(tx); err != nil {
-		m.abortLocked(tx, fmt.Sprintf("child phase one failed: %v", err))
+	// Local trail forces and the recursive phase one to our own children
+	// run in parallel, exactly as on the home node.
+	if err := m.phase1(tx); err != nil {
+		m.abortLocked(tx, fmt.Sprintf("phase one failed: %v", err))
 		return err
 	}
 	m.mu.Lock()
