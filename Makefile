@@ -1,10 +1,11 @@
 # Development targets. `make check` is the gate used before merging: the
-# tier-1 suite plus vet and the race-detector runs over the concurrency-
-# heavy packages (commit fan-out, group commit, process pairs).
+# tier-1 suite plus vet, the race-detector runs over the concurrency-
+# heavy packages (commit fan-out, group commit, process pairs), and a
+# bounded fuzz smoke over the wire-format round-trips.
 
 GO ?= go
 
-.PHONY: all build test check race bench experiments
+.PHONY: all build test check race fuzz bench experiments
 
 all: check
 
@@ -16,15 +17,26 @@ test: build
 
 # Race-detector runs over the packages with real concurrency: the TMF
 # commit/abort fan-out, the audit trail's group commit, the DISCPROCESS
-# handlers that reply asynchronously, and the root-level chaos/concurrency
-# tests.
+# handlers that reply asynchronously, the observability layer they all
+# record into, and the trace-oracle chaos test (the long soak stays
+# race-free via the package run above, but is too slow under -race).
 race:
-	$(GO) test -race ./internal/tmf/... ./internal/audit/... ./internal/discproc/... ./internal/workload/...
+	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/discproc/... ./internal/workload/...
+	$(GO) test -race -run TestChaosTraceOracle .
+
+# Fuzz smoke: a few seconds per target over the transid and message
+# wire-format round-trips ('go test -fuzz' accepts one target at a time).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/txid/
+	$(GO) test -run '^$$' -fuzz FuzzIDRoundTrip -fuzztime 5s ./internal/txid/
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 5s ./internal/msg/
+	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime 5s ./internal/msg/
 
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) race
+	$(MAKE) fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -2,11 +2,14 @@ package encompass_test
 
 import (
 	"math/rand"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"encompass"
+	"encompass/internal/audit"
+	"encompass/internal/obs"
 	"encompass/internal/workload"
 )
 
@@ -125,4 +128,169 @@ func TestChaosSoak(t *testing.T) {
 	if err := bank.VerifyConsistency(); err != nil {
 		t.Fatalf("post-chaos invariant: %v", err)
 	}
+}
+
+// TestChaosTraceOracle runs a seeded randomized workload — distributed
+// commits, voluntary aborts and CPU failures — with lifecycle tracing on,
+// then feeds every captured transaction trace through the Figure 3 oracle:
+// each transaction must reach ENDED or ABORTED on every node that saw it,
+// through legal transitions only. The runtime checker must also have seen
+// no illegal state-change broadcast.
+func TestChaosTraceOracle(t *testing.T) {
+	sys, err := encompass.Build(encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "west", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v-west", Audited: true, CacheSize: 256}}},
+			{Name: "east", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v-east", Audited: true, CacheSize: 256}}},
+		},
+		TraceCapacity: 32768,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := workload.SetupBank(sys, workload.BankConfig{
+		Placement: []workload.Placement{
+			{Node: "west", Volume: "v-west"},
+			{Node: "east", Volume: "v-east"},
+		},
+		Branches: 4, Tellers: 3, Accounts: 40,
+		RemoteFraction: 0.3,
+		MaxRetries:     40,
+		Seed:           77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault injector: CPU failures and revivals only (never CPU 0, which
+	// hosts the TMP primary and the authoritative state-table replica the
+	// oracle's From states are read from).
+	var stop atomic.Bool
+	injectorDone := make(chan struct{})
+	go func() {
+		defer close(injectorDone)
+		rng := rand.New(rand.NewSource(7700))
+		nodes := []*encompass.Node{sys.Node("west"), sys.Node("east")}
+		for !stop.Load() {
+			time.Sleep(time.Duration(8+rng.Intn(12)) * time.Millisecond)
+			n := nodes[rng.Intn(len(nodes))]
+			cpu := 1 + rng.Intn(3)
+			n.HW.FailCPU(cpu)
+			time.Sleep(time.Duration(4+rng.Intn(8)) * time.Millisecond)
+			n.HW.ReviveCPU(cpu)
+		}
+	}()
+
+	// Voluntary aborter: transactions that update an account and then call
+	// ABORT-TRANSACTION, exercising the backout path in the trace mix.
+	voluntaryAborts := 0
+	aborterDone := make(chan struct{})
+	go func() {
+		defer close(aborterDone)
+		rng := rand.New(rand.NewSource(7701))
+		west := sys.Node("west")
+		for i := 0; i < 40; i++ {
+			tx, err := west.Begin()
+			if err != nil {
+				continue
+			}
+			key := "b0000-a" + padAcct(rng.Intn(40))
+			if cur, err := tx.ReadLock("accounts-p0", key); err == nil {
+				n, _ := strconv.Atoi(string(cur))
+				_ = tx.Update("accounts-p0", key, []byte(strconv.Itoa(n+1)))
+			}
+			if tx.Abort("voluntary abort for trace oracle") == nil {
+				voluntaryAborts++
+			}
+			time.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
+		}
+	}()
+
+	results := make(chan workload.Result, 2)
+	for _, node := range []string{"west", "east"} {
+		node := node
+		go func() { results <- bank.Run(node, 120, 3) }()
+	}
+	committed := 0
+	for i := 0; i < 2; i++ {
+		committed += (<-results).Committed
+	}
+	<-aborterDone
+	stop.Store(true)
+	<-injectorDone
+	for _, n := range sys.Nodes() {
+		for cpu := 1; cpu < 4; cpu++ {
+			n.HW.ReviveCPU(cpu)
+		}
+	}
+
+	settle := func() {
+		for _, n := range sys.Nodes() {
+			n.TMF.FlushSafeQueue()
+			n.TMF.WaitSafeQueueEmpty(2 * time.Second)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	settle()
+
+	// Resolve stragglers the way an operator would: abort live home
+	// transactions, then force each remaining participant to its home
+	// node's recorded disposition.
+	for _, n := range sys.Nodes() {
+		for _, id := range n.TMF.Tracer().Transactions() {
+			if id.Home == n.Name && !n.TMF.State(id).Terminal() {
+				_ = n.TMF.Abort(id, "end-of-run sweep")
+			}
+		}
+	}
+	settle()
+	for _, n := range sys.Nodes() {
+		for _, id := range n.TMF.Tracer().Transactions() {
+			if n.TMF.State(id).Terminal() {
+				continue
+			}
+			o, ok := sys.Node(id.Home).TMF.Outcome(id)
+			_ = n.TMF.ForceDisposition(id, ok && o == audit.OutcomeCommitted)
+		}
+	}
+	settle()
+
+	if committed == 0 {
+		t.Fatal("nothing committed through the chaos")
+	}
+	if voluntaryAborts == 0 {
+		t.Fatal("no voluntary aborts landed; the abort path went unexercised")
+	}
+	if err := bank.VerifyConsistency(); err != nil {
+		t.Fatalf("ATOMICITY VIOLATED: %v", err)
+	}
+
+	validated := 0
+	for _, n := range sys.Nodes() {
+		tr := n.TMF.Tracer()
+		if ev := tr.Evicted(); ev > 0 {
+			t.Fatalf("tracer on %s evicted %d traces; raise TraceCapacity", n.Name, ev)
+		}
+		if vs := n.TMF.Checker().Violations(); len(vs) > 0 {
+			t.Errorf("runtime checker on %s recorded %d violations; first: %s", n.Name, len(vs), vs[0])
+		}
+		for _, id := range tr.Transactions() {
+			if err := obs.CheckTrace(tr.Trace(id)); err != nil {
+				t.Errorf("trace oracle on %s: %v\n%s", n.Name, err, tr.Dump(id))
+			}
+			validated++
+		}
+	}
+	if validated == 0 {
+		t.Fatal("no traces captured")
+	}
+	t.Logf("trace oracle: %d traces validated (%d committed, %d voluntary aborts)",
+		validated, committed, voluntaryAborts)
+}
+
+func padAcct(a int) string {
+	s := strconv.Itoa(a)
+	for len(s) < 6 {
+		s = "0" + s
+	}
+	return s
 }

@@ -1,6 +1,7 @@
-// Command tmfctl demonstrates the paper's manual-override procedure for
-// in-doubt transactions. When communication is lost after a non-home node
-// has acknowledged phase one, that node must hold the transaction's locks
+// Command tmfctl is the operator's view of TMF. Its default walk-through
+// demonstrates the paper's manual-override procedure for in-doubt
+// transactions. When communication is lost after a non-home node has
+// acknowledged phase one, that node must hold the transaction's locks
 // until it learns the disposition; the paper's prescribed manual override
 // is: (1) use a TMF utility on the home node to determine the
 // transaction's disposition; (2) a telephone conversation between
@@ -13,6 +14,13 @@
 // the home node's Monitor Audit Trail and forcing the disposition on the
 // severed node — and verifies the locks were released and the data
 // matches the home node's decision.
+//
+// Subcommands view the same scenario through the observability layer:
+//
+//	tmfctl            run the manual-override walk-through
+//	tmfctl trace      dump the in-doubt transaction's lifecycle trace
+//	tmfctl trace <id> dump the trace of a specific transid (\home(cpu).seq)
+//	tmfctl metrics    print both nodes' counter/histogram registries
 package main
 
 import (
@@ -25,94 +33,165 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cmd, args := "override", os.Args[1:]
+	if len(args) > 0 {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "override":
+		_, _, err = scenario(true)
+		if err == nil {
+			fmt.Println("\ntmfctl: manual override completed consistently")
+		}
+	case "trace":
+		err = runTrace(args)
+	case "metrics":
+		err = runMetrics()
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+	default:
+		usage(os.Stderr)
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmfctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fmt.Println("tmfctl: in-doubt transaction manual override walk-through")
-	fmt.Println()
+func usage(w *os.File) {
+	fmt.Fprintln(w, `usage: tmfctl [override | trace [transid] | metrics]`)
+}
+
+// runTrace replays the scenario with tracing on and dumps lifecycle
+// traces: by default the in-doubt transaction's, from both nodes'
+// tracers; with an argument, the trace of that transid.
+func runTrace(args []string) error {
+	sys, id, err := scenario(false)
+	if err != nil {
+		return err
+	}
+	if len(args) > 0 {
+		if id, err = txid.Parse(args[0]); err != nil {
+			return err
+		}
+	}
+	found := false
+	for _, n := range sys.Nodes() {
+		tr := n.TMF.Tracer()
+		if len(tr.Trace(id)) == 0 {
+			continue
+		}
+		found = true
+		fmt.Printf("--- node %s ---\n%s", n.Name, tr.Dump(id))
+	}
+	if !found {
+		return fmt.Errorf("no trace for %s on any node", id)
+	}
+	return nil
+}
+
+// runMetrics replays the scenario and prints each node's metrics registry
+// — the counters and per-phase latency histograms the TMF recorded.
+func runMetrics() error {
+	sys, _, err := scenario(false)
+	if err != nil {
+		return err
+	}
+	for _, n := range sys.Nodes() {
+		fmt.Printf("--- node %s ---\n%s\n", n.Name, n.TMF.Registry())
+	}
+	return nil
+}
+
+// scenario drives the in-doubt manual-override walk-through (with
+// lifecycle tracing on) and returns the system and the distributed
+// transaction's id. verbose narrates each operator step.
+func scenario(verbose bool) (*encompass.System, txid.ID, error) {
+	out := func(format string, a ...any) {
+		if verbose {
+			fmt.Printf(format, a...)
+		}
+	}
+	out("tmfctl: in-doubt transaction manual override walk-through\n\n")
 
 	sys, err := encompass.Build(encompass.Config{
 		Nodes: []encompass.NodeSpec{
 			{Name: "home", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "vh", Audited: true}}},
 			{Name: "branch", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "vb", Audited: true}}},
 		},
+		TraceCapacity: 4096,
 	})
 	if err != nil {
-		return err
+		return nil, txid.ID{}, err
 	}
 	if err := sys.CreateFileEverywhere(encompass.LocalFile("ledger", encompass.KeySequenced, "branch", "vb")); err != nil {
-		return err
+		return nil, txid.ID{}, err
 	}
 	home, branch := sys.Node("home"), sys.Node("branch")
 
 	// Drive a distributed transaction into the in-doubt window: partition
 	// the network between phase one and the commit record.
 	home.TMF.SetPhase1Hook(func(txid.ID) {
-		fmt.Println("  [fault injection] network partitions after phase one acknowledged")
+		out("  [fault injection] network partitions after phase one acknowledged\n")
 		sys.Partition("branch")
 	})
 	tx, err := home.Begin()
 	if err != nil {
-		return err
+		return nil, txid.ID{}, err
 	}
 	if err := tx.Insert("ledger", "entry-1", []byte("credit 100")); err != nil {
-		return err
+		return nil, txid.ID{}, err
 	}
-	fmt.Printf("transaction %s updates node 'branch' and commits at node 'home'\n", tx.ID)
+	out("transaction %s updates node 'branch' and commits at node 'home'\n", tx.ID)
 	if err := tx.Commit(); err != nil {
-		return fmt.Errorf("commit: %w", err)
+		return nil, txid.ID{}, fmt.Errorf("commit: %w", err)
 	}
 	home.TMF.SetPhase1Hook(nil)
-	fmt.Println("  commit record written at home; phase two cannot reach 'branch'")
-	fmt.Println()
+	out("  commit record written at home; phase two cannot reach 'branch'\n\n")
 
 	// The branch node is in doubt: it holds the locks.
 	if err := branch.TMF.Abort(tx.ID, "operator tries to abort"); err != nil {
-		fmt.Printf("branch refuses unilateral abort: %v\n", err)
+		out("branch refuses unilateral abort: %v\n", err)
 	}
 	probe, _ := branch.Begin()
 	if _, err := branch.FS.ReadLock(probe.ID, "ledger", "entry-1"); err != nil {
-		fmt.Printf("branch still holds the in-doubt lock: %v\n", err)
+		out("branch still holds the in-doubt lock: %v\n", err)
 	}
 	probe.Abort("probe done")
-	fmt.Println()
+	out("\n")
 
 	// Step 1: TMF utility on the home node determines the disposition.
 	outcome, known := home.TMF.Outcome(tx.ID)
-	fmt.Printf("step 1 (home operator): disposition of %s = %s (known=%v)\n", tx.ID, outcome, known)
+	out("step 1 (home operator): disposition of %s = %s (known=%v)\n", tx.ID, outcome, known)
 	// Step 2: the telephone call.
-	fmt.Println("step 2: operators confer by telephone...")
+	out("step 2: operators confer by telephone...\n")
 	// Step 3: TMF utility on the severed node forces the disposition.
 	commit := known && outcome.String() == "committed"
 	if err := branch.TMF.ForceDisposition(tx.ID, commit); err != nil {
-		return err
+		return nil, txid.ID{}, err
 	}
-	fmt.Printf("step 3 (branch operator): forced disposition commit=%v\n", commit)
-	fmt.Println()
+	out("step 3 (branch operator): forced disposition commit=%v\n\n", commit)
 
 	// Verify: locks released, data visible, outcomes consistent.
 	check, _ := branch.Begin()
 	v, err := branch.FS.ReadLock(check.ID, "ledger", "entry-1")
 	if err != nil {
-		return fmt.Errorf("lock still held after override: %w", err)
+		return nil, txid.ID{}, fmt.Errorf("lock still held after override: %w", err)
 	}
 	check.Abort("verification done")
-	fmt.Printf("verification: record readable and lockable again: %q\n", v)
+	out("verification: record readable and lockable again: %q\n", v)
 
 	bo, _ := branch.TMF.Outcome(tx.ID)
 	ho, _ := home.TMF.Outcome(tx.ID)
-	fmt.Printf("verification: dispositions agree: home=%s branch=%s\n", ho, bo)
+	out("verification: dispositions agree: home=%s branch=%s\n", ho, bo)
 
 	sys.Heal()
 	time.Sleep(20 * time.Millisecond) // let queued safe-deliveries drain
-	fmt.Println("network healed; queued safe-delivery messages drained")
+	out("network healed; queued safe-delivery messages drained\n")
 	if bo != ho {
-		return fmt.Errorf("dispositions diverged")
+		return nil, txid.ID{}, fmt.Errorf("dispositions diverged")
 	}
-	fmt.Println("\ntmfctl: manual override completed consistently")
-	return nil
+	return sys, tx.ID, nil
 }

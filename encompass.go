@@ -38,6 +38,7 @@ import (
 	"encompass/internal/fsys"
 	"encompass/internal/hw"
 	"encompass/internal/msg"
+	"encompass/internal/obs"
 	"encompass/internal/tmf"
 	"encompass/internal/txid"
 )
@@ -89,6 +90,15 @@ type Config struct {
 	// trail force leader waits this long before writing so more
 	// concurrent committers join the batch. 0 writes immediately.
 	AuditBatchWindow time.Duration
+	// TraceCapacity enables per-transaction lifecycle tracing on every
+	// node, retaining up to this many distinct transaction traces each
+	// (obs.DefaultTraceCapacity when negative; 0 disables tracing). The
+	// node's tracer is shared between its TMF monitor and DISCPROCESSes
+	// and is exposed via Node.TMF.Tracer().
+	TraceCapacity int
+	// StrictStateCheck turns each monitor's Figure 3 checker into a
+	// runtime assertion: an illegal state-change broadcast panics.
+	StrictStateCheck bool
 }
 
 // Volume bundles the running pieces serving one disc volume.
@@ -162,6 +172,15 @@ func buildNode(net *expand.Network, ns NodeSpec, cfg Config) (*Node, error) {
 	sys := msg.NewSystem(hwNode)
 	net.Attach(sys)
 
+	// One registry and (optionally) one tracer per node, shared by the TMF
+	// monitor, the audit trails and the DISCPROCESSes, so a transaction's
+	// trace interleaves all three and metrics land in one place.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if cfg.TraceCapacity != 0 {
+		tracer = obs.NewTracer(cfg.TraceCapacity)
+	}
+
 	mon, err := tmf.New(tmf.Config{
 		System:                 sys,
 		Network:                net,
@@ -169,6 +188,9 @@ func buildNode(net *expand.Network, ns NodeSpec, cfg Config) (*Node, error) {
 		TMPPrimaryCPU:          0,
 		TMPBackupCPU:           1 % ns.CPUs,
 		CommitFanout:           cfg.CommitFanout,
+		Registry:               reg,
+		Tracer:                 tracer,
+		StrictStateCheck:       cfg.StrictStateCheck,
 	})
 	if err != nil {
 		return nil, err
@@ -196,6 +218,7 @@ func buildNode(net *expand.Network, ns NodeSpec, cfg Config) (*Node, error) {
 			if trail == nil {
 				trail = audit.NewTrail("audit-"+group, cfg.AuditForceDelay)
 				trail.SetBatchWindow(cfg.AuditBatchWindow)
+				trail.SetObs(reg)
 				trails[group] = trail
 				pcpu := i % ns.CPUs
 				bcpu := (i + 1) % ns.CPUs
@@ -216,6 +239,7 @@ func buildNode(net *expand.Network, ns NodeSpec, cfg Config) (*Node, error) {
 			CacheSize:        vs.CacheSize,
 			MissPenalty:      vs.MissPenalty,
 			ForceEveryUpdate: vs.ForceEveryUpdate,
+			Obs:              tracer,
 		})
 		if err != nil {
 			return nil, err

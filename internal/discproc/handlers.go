@@ -8,6 +8,7 @@ import (
 	"encompass/internal/dbfile"
 	"encompass/internal/lock"
 	"encompass/internal/msg"
+	"encompass/internal/obs"
 	"encompass/internal/pair"
 	"encompass/internal/txid"
 )
@@ -420,6 +421,9 @@ func (a *app) handleUndo(ctx *pair.Ctx, m msg.Message) {
 		}
 		a.proc.undos.Add(1)
 	}
+	a.proc.cfg.Obs.Record(obs.Event{Tx: req.Tx, Kind: obs.EvUndoApplied,
+		Node: a.proc.name, CPU: ctx.Proc().PID().CPU,
+		Detail: fmt.Sprintf("%s (%d images)", a.proc.cfg.Volume.Name(), len(req.Images))})
 	ctx.Reply(nil)
 }
 
@@ -435,13 +439,23 @@ func (a *app) handleUndo(ctx *pair.Ctx, m msg.Message) {
 // commit protocol still waits for the reply before writing the commit
 // record, so durability-before-commit is preserved per transaction.
 func (a *app) handleFlush(ctx *pair.Ctx, m msg.Message) {
+	req := m.Payload.(FlushReq)
 	if !a.audited() {
 		ctx.Reply(nil)
 		return
 	}
 	cl, cpu := a.proc.cfg.Audit, ctx.Proc().PID().CPU
+	tracer, name, vol := a.proc.cfg.Obs, a.proc.name, a.proc.cfg.Volume.Name()
 	go func() {
-		if err := cl.Force(cpu, 0); err != nil {
+		start := time.Now()
+		err := cl.Force(cpu, 0)
+		ev := obs.Event{Tx: req.Tx, Kind: obs.EvFlushServed, Node: name, CPU: cpu,
+			Dur: time.Since(start), Detail: vol}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		tracer.Record(ev)
+		if err != nil {
 			ctx.ReplyErr(err)
 			return
 		}

@@ -11,8 +11,6 @@
 package expand
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"sort"
@@ -292,16 +290,6 @@ func (n *Network) Stats() Stats {
 	return Stats{Frames: n.frames.Load(), Bytes: n.bytes.Load(), NoPath: n.noPath.Load()}
 }
 
-func encodeFrame(m msg.Message) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
+func encodeFrame(m msg.Message) ([]byte, error) { return msg.Marshal(m) }
 
-func decodeFrame(b []byte) (msg.Message, error) {
-	var m msg.Message
-	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
-	return m, err
-}
+func decodeFrame(b []byte) (msg.Message, error) { return msg.Unmarshal(b) }

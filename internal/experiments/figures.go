@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"encompass"
@@ -249,6 +250,19 @@ func F3() *Report {
 		}
 		violations += len(bad)
 	}
+	rows, illegal, seenLegal := classifyTransitions(counts)
+	r.Rows = append(r.Rows, rows...)
+	r.Notes = append(r.Notes, fmt.Sprintf("broadcast-validated violations: %d (must be 0)", violations))
+	r.Pass = violations == 0 && len(illegal) == 0 && seenLegal > 0
+	return r
+}
+
+// classifyTransitions tabulates observed state-transition counts against
+// Figure 3's legal set. Every legal transition gets a row in the figure's
+// order (even when unobserved); anything else is appended flagged "NO",
+// sorted for deterministic output. seenLegal totals the legal transitions
+// observed.
+func classifyTransitions(counts map[[2]txid.State]int) (rows [][]string, illegal [][2]txid.State, seenLegal int) {
 	order := [][2]txid.State{
 		{txid.StateNone, txid.StateActive},
 		{txid.StateActive, txid.StateEnding},
@@ -257,21 +271,29 @@ func F3() *Report {
 		{txid.StateEnding, txid.StateAborting},
 		{txid.StateAborting, txid.StateAborted},
 	}
-	seenLegal := 0
-	for _, k := range order {
-		n := counts[k]
-		seenLegal += n
-		r.Rows = append(r.Rows, []string{
-			fmt.Sprintf("%s → %s", k[0], k[1]), i2s(n), "yes",
-		})
-		delete(counts, k)
-	}
+	rest := make(map[[2]txid.State]int, len(counts))
 	for k, n := range counts {
-		r.Rows = append(r.Rows, []string{fmt.Sprintf("%s → %s", k[0], k[1]), i2s(n), "NO"})
+		rest[k] = n
 	}
-	r.Notes = append(r.Notes, fmt.Sprintf("broadcast-validated violations: %d (must be 0)", violations))
-	r.Pass = violations == 0 && len(counts) == 0 && seenLegal > 0
-	return r
+	for _, k := range order {
+		n := rest[k]
+		seenLegal += n
+		rows = append(rows, []string{fmt.Sprintf("%s → %s", k[0], k[1]), i2s(n), "yes"})
+		delete(rest, k)
+	}
+	for k := range rest {
+		illegal = append(illegal, k)
+	}
+	sort.Slice(illegal, func(i, j int) bool {
+		if illegal[i][0] != illegal[j][0] {
+			return illegal[i][0] < illegal[j][0]
+		}
+		return illegal[i][1] < illegal[j][1]
+	})
+	for _, k := range illegal {
+		rows = append(rows, []string{fmt.Sprintf("%s → %s", k[0], k[1]), i2s(rest[k]), "NO"})
+	}
+	return rows, illegal, seenLegal
 }
 
 // F4 reproduces Figure 4: the four-node manufacturing network with

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"encompass"
+	"encompass/internal/obs"
 )
 
 // Knobs for T9, settable from cmd/tmfbench flags.
@@ -67,29 +68,31 @@ func t9Build(fanout int) (*encompass.System, []string, []string, error) {
 }
 
 // t9Run times t9Txs transactions that each touch every volume on every node
-// (t9Nodes*t9VolsPer participants per commit) under the given fan-out.
-func t9Run(fanout int) (time.Duration, error) {
+// (t9Nodes*t9VolsPer participants per commit) under the given fan-out. The
+// home node's metrics registry comes back with the elapsed time so T9 can
+// report per-phase latency histograms.
+func t9Run(fanout int) (time.Duration, *obs.Registry, error) {
 	sys, nodes, files, err := t9Build(fanout)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	home := sys.Node(nodes[0])
 	start := time.Now()
 	for i := 0; i < t9Txs; i++ {
 		tx, err := home.Begin()
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		for _, f := range files {
 			if err := tx.Insert(f, fmt.Sprintf("k%06d", i), []byte("v")); err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 		}
 		if err := tx.Commit(); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
-	return time.Since(start), nil
+	return time.Since(start), home.TMF.Registry(), nil
 }
 
 // T9 measures the parallel commit fan-out and audit-trail group commit.
@@ -116,7 +119,7 @@ func T9() *Report {
 	}
 	participants := t9Nodes * t9VolsPer
 
-	seq, err := t9Run(1)
+	seq, seqReg, err := t9Run(1)
 	if err != nil {
 		return fail(err)
 	}
@@ -125,7 +128,7 @@ func T9() *Report {
 		i2s(t9Txs), i2s(participants), dur(seq), dur(seq / t9Txs),
 	})
 
-	par, err := t9Run(T9Fanout)
+	par, parReg, err := t9Run(T9Fanout)
 	if err != nil {
 		return fail(err)
 	}
@@ -133,6 +136,19 @@ func T9() *Report {
 		fmt.Sprintf("parallel protocol steps (fanout=%d)", T9Fanout),
 		i2s(t9Txs), i2s(participants), dur(par), dur(par / t9Txs),
 	})
+
+	// Per-phase latency histograms from the home node's registry: the
+	// fan-out shows up as a phase-one (and begin→ENDED) shift between the
+	// sequential and parallel runs.
+	for _, h := range []struct{ label, metric string }{
+		{"phase one", obs.MPhaseOne},
+		{"phase two", obs.MPhaseTwo},
+		{"begin→ENDED", obs.MBeginToEnded},
+	} {
+		r.Notes = append(r.Notes,
+			fmt.Sprintf("%-12s sequential: %s", h.label, seqReg.Histogram(h.metric).Snapshot().Summary()),
+			fmt.Sprintf("%-12s parallel:   %s", h.label, parReg.Histogram(h.metric).Snapshot().Summary()))
+	}
 
 	// --- Group commit: concurrent committers share physical forces. ---
 	sys, err := encompass.Build(encompass.Config{

@@ -15,6 +15,7 @@
 package msg
 
 import (
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -39,6 +40,23 @@ var (
 // Every struct sent between nodes must be registered once, typically from
 // an init function of the package that defines it.
 func RegisterPayload(v any) { gob.Register(v) }
+
+// Marshal encodes a message into the gob wire frame used for inter-node
+// traffic. Payload types must have been registered via RegisterPayload.
+func Marshal(m Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a wire frame produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	var m Message
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
+	return m, err
+}
 
 // PID identifies a process instance: the node it runs on, the CPU hosting
 // it, and a node-unique sequence number.

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter discards
+// adds and reads zero, so instrumented code needs no enablement guards.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// DefaultLatencyBuckets are the fixed histogram bucket upper bounds used
+// for protocol phase latencies, spanning the simulation's range from
+// in-memory calls to multi-node commits with simulated disc forces.
+var DefaultLatencyBuckets = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations above the
+// last bound land in an implicit +Inf bucket. A nil *Histogram discards
+// observations.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []time.Duration
+	counts []uint64 // len(bounds)+1; last is +Inf
+	count  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds (nil selects DefaultLatencyBuckets).
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]time.Duration(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []time.Duration
+	Counts []uint64 // len(Bounds)+1; last is +Inf
+	Count  uint64
+	Sum    time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Snapshot returns a copy of the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]time.Duration(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}
+
+// Mean returns the average observed duration (zero when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the buckets: the
+// upper bound of the bucket containing the target rank (Max for the +Inf
+// bucket). Coarse by construction, but monotone and bounded.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// Summary renders the snapshot as one compact line:
+// "n=12 mean=1.2ms p50=1ms p95=2.5ms max=3.1ms".
+func (s HistogramSnapshot) Summary() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s max=%s",
+		s.Count,
+		s.Mean().Round(time.Microsecond),
+		s.Quantile(0.50).Round(time.Microsecond),
+		s.Quantile(0.95).Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}
+
+// String renders the snapshot as a multi-line bucket table with bars, for
+// tmfctl metrics and the tmfbench per-phase latency report.
+func (s HistogramSnapshot) String() string {
+	var sb strings.Builder
+	sb.WriteString(s.Summary())
+	if s.Count == 0 {
+		return sb.String()
+	}
+	var peak uint64
+	for _, c := range s.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		label := "+Inf"
+		if i < len(s.Bounds) {
+			label = s.Bounds[i].String()
+		}
+		bar := strings.Repeat("#", int(1+19*c/peak))
+		fmt.Fprintf(&sb, "\n  <= %-8s %6d %s", label, c, bar)
+	}
+	return sb.String()
+}
+
+// Registry is a named collection of counters and histograms: the node's
+// single source of truth for TMF activity metrics. Metric handles are
+// created on first use and stable thereafter. A nil *Registry hands out
+// nil handles, which safely discard updates.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the default
+// latency buckets on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(nil)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders every metric, counters first then histograms, sorted by
+// name.
+func (r *Registry) String() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, n := range r.CounterNames() {
+		fmt.Fprintf(&sb, "%-28s %d\n", n, r.Counter(n).Value())
+	}
+	for _, n := range r.HistogramNames() {
+		fmt.Fprintf(&sb, "%-28s %s\n", n, r.Histogram(n).Snapshot().String())
+	}
+	return sb.String()
+}
+
+// Canonical metric names used by the TMF monitor and the audit trail.
+// Tests and CLIs read these instead of the legacy Stats fields, which are
+// kept as thin aliases over the same counters.
+const (
+	MBegun               = "tmf.begun"
+	MCommitted           = "tmf.committed"
+	MAborted             = "tmf.aborted"
+	MBackouts            = "tmf.backouts"
+	MBroadcasts          = "tmf.broadcasts"
+	MUnreleasedVolumes   = "tmf.unreleased_volumes"
+	MBackoutScanFailures = "tmf.backout_scan_failures"
+	MStateViolations     = "tmf.state_violations"
+
+	MBeginToEnded = "tmf.latency.begin_to_ended"
+	MPhaseOne     = "tmf.latency.phase_one"
+	MPhaseTwo     = "tmf.latency.phase_two"
+	MBackout      = "tmf.latency.backout"
+
+	MAuditForceRequests = "audit.force_requests"
+	MAuditForces        = "audit.forces"
+	MAuditForceLatency  = "audit.latency.force"
+)

@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"encompass/internal/txid"
+)
+
+func tx(seq uint64) txid.ID { return txid.ID{Home: "alpha", CPU: 0, Seq: seq} }
+
+// stateEv builds one EvState event; At is filled by the helpers below.
+func stateEv(id txid.ID, node string, from, to txid.State) Event {
+	return Event{Tx: id, Kind: EvState, From: from, To: to, Node: node}
+}
+
+// at stamps explicit timestamps onto a hand-built trace (CheckTrace
+// requires non-decreasing At values, which Tracer.Record normally assigns).
+func at(events []Event) []Event {
+	for i := range events {
+		events[i].At = time.Duration(i) * time.Millisecond
+	}
+	return events
+}
+
+func TestCheckTraceAcceptsCommitPath(t *testing.T) {
+	trace := at([]Event{
+		{Tx: tx(1), Kind: EvBegin, Node: "alpha"},
+		stateEv(tx(1), "alpha", txid.StateNone, txid.StateActive),
+		stateEv(tx(1), "alpha", txid.StateActive, txid.StateEnding),
+		{Tx: tx(1), Kind: EvForce, Node: "alpha", Detail: "data1"},
+		{Tx: tx(1), Kind: EvOutcome, Node: "alpha", Detail: "committed"},
+		stateEv(tx(1), "alpha", txid.StateEnding, txid.StateEnded),
+		{Tx: tx(1), Kind: EvPhase2Release, Node: "alpha", Detail: "data1"},
+	})
+	if err := CheckTrace(trace); err != nil {
+		t.Fatalf("legal commit trace rejected: %v", err)
+	}
+}
+
+func TestCheckTraceAcceptsAbortPath(t *testing.T) {
+	trace := at([]Event{
+		stateEv(tx(2), "alpha", txid.StateNone, txid.StateActive),
+		stateEv(tx(2), "alpha", txid.StateActive, txid.StateAborting),
+		{Tx: tx(2), Kind: EvBackoutScan, Node: "alpha", Detail: "audit-g"},
+		{Tx: tx(2), Kind: EvUndoSend, Node: "alpha", Detail: "data1 (2 images)"},
+		stateEv(tx(2), "alpha", txid.StateAborting, txid.StateAborted),
+	})
+	if err := CheckTrace(trace); err != nil {
+		t.Fatalf("legal abort trace rejected: %v", err)
+	}
+}
+
+// The acceptance-criteria case: a hand-built illegal trace (ENDED →
+// ABORTING) must be rejected.
+func TestCheckTraceRejectsEndedToAborting(t *testing.T) {
+	trace := at([]Event{
+		stateEv(tx(3), "alpha", txid.StateNone, txid.StateActive),
+		stateEv(tx(3), "alpha", txid.StateActive, txid.StateEnding),
+		stateEv(tx(3), "alpha", txid.StateEnding, txid.StateEnded),
+		stateEv(tx(3), "alpha", txid.StateEnded, txid.StateAborting),
+		stateEv(tx(3), "alpha", txid.StateAborting, txid.StateAborted),
+	})
+	err := CheckTrace(trace)
+	if err == nil {
+		t.Fatal("ENDED → ABORTING trace accepted")
+	}
+	if !strings.Contains(err.Error(), "illegal transition") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckTraceRejectsNonTerminalEnd(t *testing.T) {
+	trace := at([]Event{
+		stateEv(tx(4), "alpha", txid.StateNone, txid.StateActive),
+		stateEv(tx(4), "alpha", txid.StateActive, txid.StateEnding),
+	})
+	if err := CheckTrace(trace); err == nil {
+		t.Fatal("trace stuck in ENDING accepted")
+	}
+}
+
+func TestCheckTraceRejectsBrokenChain(t *testing.T) {
+	// Second transition's From does not match the previous To.
+	trace := at([]Event{
+		stateEv(tx(5), "alpha", txid.StateNone, txid.StateActive),
+		stateEv(tx(5), "alpha", txid.StateEnding, txid.StateEnded),
+	})
+	if err := CheckTrace(trace); err == nil {
+		t.Fatal("non-chaining trace accepted")
+	}
+}
+
+func TestCheckTraceRejectsFirstNotFromNone(t *testing.T) {
+	trace := at([]Event{
+		stateEv(tx(6), "alpha", txid.StateActive, txid.StateEnding),
+		stateEv(tx(6), "alpha", txid.StateEnding, txid.StateEnded),
+	})
+	if err := CheckTrace(trace); err == nil {
+		t.Fatal("trace starting mid-machine accepted")
+	}
+}
+
+func TestCheckTraceRejectsMixedAndEmpty(t *testing.T) {
+	if err := CheckTrace(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	mixed := at([]Event{
+		stateEv(tx(7), "alpha", txid.StateNone, txid.StateActive),
+		stateEv(tx(8), "alpha", txid.StateNone, txid.StateActive),
+	})
+	if err := CheckTrace(mixed); err == nil {
+		t.Fatal("trace mixing two transactions accepted")
+	}
+	noState := at([]Event{{Tx: tx(9), Kind: EvBegin, Node: "alpha"}})
+	if err := CheckTrace(noState); err == nil {
+		t.Fatal("trace with no state transitions accepted")
+	}
+}
+
+func TestCheckTraceValidatesPerNode(t *testing.T) {
+	// A distributed trace interleaves two nodes; each chain is legal on its
+	// own node even though the interleaved From/To sequence is not.
+	trace := at([]Event{
+		stateEv(tx(10), "alpha", txid.StateNone, txid.StateActive),
+		stateEv(tx(10), "beta", txid.StateNone, txid.StateActive),
+		stateEv(tx(10), "alpha", txid.StateActive, txid.StateEnding),
+		stateEv(tx(10), "beta", txid.StateActive, txid.StateEnding),
+		stateEv(tx(10), "beta", txid.StateEnding, txid.StateEnded),
+		stateEv(tx(10), "alpha", txid.StateEnding, txid.StateEnded),
+	})
+	if err := CheckTrace(trace); err != nil {
+		t.Fatalf("legal distributed trace rejected: %v", err)
+	}
+	// One node finishing non-terminal fails the whole trace.
+	stuck := at([]Event{
+		stateEv(tx(11), "alpha", txid.StateNone, txid.StateActive),
+		stateEv(tx(11), "beta", txid.StateNone, txid.StateActive),
+		stateEv(tx(11), "alpha", txid.StateActive, txid.StateEnding),
+		stateEv(tx(11), "alpha", txid.StateEnding, txid.StateEnded),
+	})
+	if err := CheckTrace(stuck); err == nil {
+		t.Fatal("distributed trace with a non-terminal node accepted")
+	}
+}
+
+func TestCheckTraceRejectsBackwardsTime(t *testing.T) {
+	trace := []Event{
+		{Tx: tx(12), Kind: EvState, From: txid.StateNone, To: txid.StateActive, Node: "alpha", At: 2 * time.Millisecond},
+		{Tx: tx(12), Kind: EvState, From: txid.StateActive, To: txid.StateAborting, Node: "alpha", At: time.Millisecond},
+		{Tx: tx(12), Kind: EvState, From: txid.StateAborting, To: txid.StateAborted, Node: "alpha", At: 3 * time.Millisecond},
+	}
+	if err := CheckTrace(trace); err == nil {
+		t.Fatal("trace with backwards timestamps accepted")
+	}
+}
+
+func TestStateMachineChecker(t *testing.T) {
+	c := NewStateMachineChecker(false)
+	if err := c.Observe("alpha", tx(1), txid.StateActive, txid.StateEnding); err != nil {
+		t.Fatalf("legal transition flagged: %v", err)
+	}
+	if err := c.Observe("alpha", tx(1), txid.StateEnded, txid.StateAborting); err == nil {
+		t.Fatal("illegal transition not flagged")
+	}
+	vs := c.Violations()
+	if len(vs) != 1 || vs[0].From != txid.StateEnded || vs[0].To != txid.StateAborting {
+		t.Fatalf("violations = %v, want one ENDED→ABORTING", vs)
+	}
+	if !strings.Contains(vs[0].String(), "illegal transition") {
+		t.Fatalf("violation string: %q", vs[0])
+	}
+}
+
+func TestStateMachineCheckerStrictPanics(t *testing.T) {
+	c := NewStateMachineChecker(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("strict checker did not panic on an illegal transition")
+		}
+	}()
+	_ = c.Observe("alpha", tx(1), txid.StateEnded, txid.StateAborting)
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Tx: tx(1)})
+	if tr.Trace(tx(1)) != nil || tr.Transactions() != nil || tr.Evicted() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter not inert")
+	}
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Histogram("x") != nil || r.CounterNames() != nil {
+		t.Fatal("nil registry handed out live handles")
+	}
+	var ck *StateMachineChecker
+	if err := ck.Observe("n", tx(1), txid.StateEnded, txid.StateAborting); err != nil {
+		t.Fatal("nil checker flagged a transition")
+	}
+}
+
+func TestTracerRecordsAndEvicts(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Record(Event{Tx: tx(1), Kind: EvBegin, Node: "alpha"})
+	tr.Record(Event{Tx: tx(1), Kind: EvState, From: txid.StateNone, To: txid.StateActive, Node: "alpha"})
+	tr.Record(Event{Tx: tx(2), Kind: EvBegin, Node: "alpha"})
+	if got := len(tr.Trace(tx(1))); got != 2 {
+		t.Fatalf("trace len = %d, want 2", got)
+	}
+	// Timestamps must be non-decreasing in record order.
+	evs := tr.Trace(tx(1))
+	if evs[1].At < evs[0].At {
+		t.Fatalf("timestamps decreased: %v then %v", evs[0].At, evs[1].At)
+	}
+	// Third distinct transaction evicts the oldest (tx 1).
+	tr.Record(Event{Tx: tx(3), Kind: EvBegin, Node: "alpha"})
+	if tr.Trace(tx(1)) != nil {
+		t.Fatal("oldest trace not evicted at capacity")
+	}
+	if tr.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", tr.Evicted())
+	}
+	ids := tr.Transactions()
+	if len(ids) != 2 || ids[0] != tx(2) || ids[1] != tx(3) {
+		t.Fatalf("transactions = %v", ids)
+	}
+	if !strings.Contains(tr.Dump(tx(2)), "begin") {
+		t.Fatalf("dump missing begin event:\n%s", tr.Dump(tx(2)))
+	}
+	if !strings.Contains(tr.Dump(tx(99)), "no events") {
+		t.Fatal("dump of unknown tx should say so")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	for _, d := range []time.Duration{
+		500 * time.Microsecond, 2 * time.Millisecond, 5 * time.Millisecond, 50 * time.Millisecond,
+	} {
+		h.Observe(d)
+	}
+	h.Observe(-time.Second) // clamped to zero, lands in first bucket
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Counts[0] != 2 || s.Counts[1] != 2 || s.Counts[2] != 1 {
+		t.Fatalf("bucket counts = %v", s.Counts)
+	}
+	if s.Max != 50*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.Min != 0 {
+		t.Fatalf("min = %v", s.Min)
+	}
+	if q := s.Quantile(0.5); q != time.Millisecond {
+		t.Fatalf("p50 = %v, want 1ms (upper bound of covering bucket)", q)
+	}
+	if q := s.Quantile(1.0); q != 50*time.Millisecond {
+		t.Fatalf("p100 = %v, want the max", q)
+	}
+	if !strings.Contains(s.Summary(), "n=5") {
+		t.Fatalf("summary: %q", s.Summary())
+	}
+	if !strings.Contains(s.String(), "#") {
+		t.Fatalf("string lacks bars:\n%s", s.String())
+	}
+	empty := NewHistogram(nil).Snapshot()
+	if empty.Summary() != "n=0" || empty.Mean() != 0 || empty.Quantile(0.9) != 0 {
+		t.Fatal("empty histogram rendering wrong")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MBegun).Add(3)
+	if r.Counter(MBegun).Value() != 3 {
+		t.Fatal("counter handle not stable")
+	}
+	r.Histogram(MPhaseOne).Observe(time.Millisecond)
+	if got := r.Histogram(MPhaseOne).Snapshot().Count; got != 1 {
+		t.Fatalf("histogram count = %d", got)
+	}
+	names := r.CounterNames()
+	if len(names) != 1 || names[0] != MBegun {
+		t.Fatalf("counter names = %v", names)
+	}
+	out := r.String()
+	if !strings.Contains(out, MBegun) || !strings.Contains(out, MPhaseOne) {
+		t.Fatalf("registry render missing metrics:\n%s", out)
+	}
+}
+
+// The tracer and registry are written from protocol goroutines and read by
+// tests concurrently; exercise that under -race.
+func TestConcurrentUse(t *testing.T) {
+	tr := NewTracer(8)
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				id := tx(uint64(g*1000 + i))
+				tr.Record(Event{Tx: id, Kind: EvBegin, Node: "alpha"})
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				_ = tr.Trace(id)
+				_ = h.Snapshot()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if c.Value() != 800 || h.Snapshot().Count != 800 {
+		t.Fatalf("lost updates: c=%d h=%d", c.Value(), h.Snapshot().Count)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encompass/internal/audit"
 	"encompass/internal/discproc"
 	"encompass/internal/msg"
+	"encompass/internal/obs"
 	"encompass/internal/txid"
 )
 
@@ -87,10 +88,12 @@ func (m *Monitor) End(tx txid.ID) error {
 	m.closeToNewWork(tx)
 	// Phase one: enter "ending", force audit records everywhere.
 	m.broadcast(tx, txid.StateEnding)
+	p1Start := time.Now()
 	if err := m.phase1(tx); err != nil {
 		m.abortLocked(tx, fmt.Sprintf("phase one failed: %v", err))
 		return fmt.Errorf("%w: %s: phase one failed: %v", ErrAborted, tx, err)
 	}
+	m.hPhase1.Observe(time.Since(p1Start))
 	if hook := m.phase1Hook; hook != nil {
 		// Fault-injection point between phase one and the commit record,
 		// used by the in-doubt experiments.
@@ -102,9 +105,27 @@ func (m *Monitor) End(tx txid.ID) error {
 	m.recordOutcome(tx, audit.OutcomeCommitted)
 	m.broadcast(tx, txid.StateEnded)
 	// Phase two: release locks locally; safe-delivery to children.
+	p2Start := time.Now()
 	m.releaseLocal(tx)
 	m.safeDeliverChildren(tx, kindEnded)
+	m.hPhase2.Observe(time.Since(p2Start))
+	m.observeBeginToEnded(tx)
 	return nil
+}
+
+// observeBeginToEnded records the begin→terminal latency for a transaction
+// whose begin this node witnessed.
+func (m *Monitor) observeBeginToEnded(tx txid.ID) {
+	m.mu.Lock()
+	t, ok := m.txs[tx]
+	var begin time.Time
+	if ok {
+		begin = t.beginAt
+	}
+	m.mu.Unlock()
+	if !begin.IsZero() {
+		m.hBeginToEnded.Observe(time.Since(begin))
+	}
 }
 
 // recordOutcome writes the transaction's completion record to the Monitor
@@ -117,14 +138,14 @@ func (m *Monitor) recordOutcome(tx txid.ID, o audit.Outcome) {
 	if !isNew || got != o {
 		return
 	}
-	m.mu.Lock()
 	switch o {
 	case audit.OutcomeCommitted:
-		m.stats.committed++
+		m.cCommitted.Inc()
 	case audit.OutcomeAborted:
-		m.stats.aborted++
+		m.cAborted.Inc()
 	}
-	m.mu.Unlock()
+	m.tracer.Record(obs.Event{Tx: tx, Kind: obs.EvOutcome, Node: m.node,
+		CPU: m.tmpCPUOrFirstUp(), Detail: o.String()})
 }
 
 // phase1 runs both halves of phase one — forcing this node's audit trails
@@ -160,7 +181,15 @@ func (m *Monitor) phase1Local(tx txid.ID) error {
 		return err
 	}
 	return fanOut(m.fanout, vols, func(vi VolumeInfo) error {
-		if err := m.callVolume(vi, discproc.KindFlush, discproc.FlushReq{Tx: tx}); err != nil {
+		start := time.Now()
+		err := m.callVolume(vi, discproc.KindFlush, discproc.FlushReq{Tx: tx})
+		ev := obs.Event{Tx: tx, Kind: obs.EvForce, Node: m.node,
+			CPU: m.tmpCPUOrFirstUp(), Dur: time.Since(start), Detail: vi.Name}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		m.tracer.Record(ev)
+		if err != nil {
 			return fmt.Errorf("flush %s: %w", vi.Name, err)
 		}
 		return nil
@@ -199,11 +228,15 @@ func (m *Monitor) releaseLocal(tx txid.ID) {
 		return
 	}
 	_ = fanOut(m.fanout, vols, func(vi VolumeInfo) error {
-		if err := m.callVolumeRetry(vi, discproc.KindEndTx, discproc.EndTxReq{Tx: tx}); err != nil {
-			m.mu.Lock()
-			m.stats.unreleased++
-			m.mu.Unlock()
+		start := time.Now()
+		err := m.callVolumeRetry(vi, discproc.KindEndTx, discproc.EndTxReq{Tx: tx})
+		ev := obs.Event{Tx: tx, Kind: obs.EvPhase2Release, Node: m.node,
+			CPU: m.tmpCPUOrFirstUp(), Dur: time.Since(start), Detail: vi.Name}
+		if err != nil {
+			ev.Err = err.Error()
+			m.cUnreleased.Inc()
 		}
+		m.tracer.Record(ev)
 		return nil
 	})
 }
@@ -311,9 +344,9 @@ func (m *Monitor) backoutLocal(tx txid.ID) error {
 	if err != nil || len(vols) == 0 {
 		return nil
 	}
-	m.mu.Lock()
-	m.stats.backouts++
-	m.mu.Unlock()
+	m.cBackouts.Inc()
+	backoutStart := time.Now()
+	defer func() { m.hBackout.Observe(time.Since(backoutStart)) }()
 
 	// Scan each distinct audit trail once (volumes may share one).
 	cpu := m.tmpCPUOrFirstUp()
@@ -341,6 +374,7 @@ func (m *Monitor) backoutLocal(tx txid.ID) error {
 		cl := audit.NewClient(m.sys, trail)
 		var imgs []audit.Image
 		var scanErr error
+		scanStart := time.Now()
 		for attempt := 0; attempt < volRetries; attempt++ {
 			if attempt > 0 {
 				time.Sleep(time.Duration(attempt) * volRetryBackoff)
@@ -349,10 +383,14 @@ func (m *Monitor) backoutLocal(tx txid.ID) error {
 				break
 			}
 		}
+		ev := obs.Event{Tx: tx, Kind: obs.EvBackoutScan, Node: m.node, CPU: cpu,
+			Dur: time.Since(scanStart), Detail: trail}
 		if scanErr != nil {
-			m.mu.Lock()
-			m.stats.backoutScanFails++
-			m.mu.Unlock()
+			ev.Err = scanErr.Error()
+		}
+		m.tracer.Record(ev)
+		if scanErr != nil {
+			m.cScanFails.Inc()
 			errs = append(errs, fmt.Errorf("scan of trail %s failed: %w", trail, scanErr))
 			continue
 		}
@@ -374,7 +412,15 @@ func (m *Monitor) backoutLocal(tx txid.ID) error {
 		for i, img := range v.images {
 			rev[len(v.images)-1-i] = img
 		}
-		if err := m.callVolumeRetry(v.vi, discproc.KindUndo, discproc.UndoReq{Tx: tx, Images: rev}); err != nil {
+		start := time.Now()
+		err := m.callVolumeRetry(v.vi, discproc.KindUndo, discproc.UndoReq{Tx: tx, Images: rev})
+		ev := obs.Event{Tx: tx, Kind: obs.EvUndoSend, Node: m.node, CPU: cpu,
+			Dur: time.Since(start), Detail: fmt.Sprintf("%s (%d images)", v.vi.Name, len(rev))}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		m.tracer.Record(ev)
+		if err != nil {
 			return fmt.Errorf("undo on %s: %w", v.vi.Name, err)
 		}
 		return nil
@@ -437,8 +483,11 @@ func (m *Monitor) applyEndedLocked(tx txid.ID) {
 	m.closeToNewWork(tx)
 	m.recordOutcome(tx, audit.OutcomeCommitted)
 	m.broadcast(tx, txid.StateEnded)
+	p2Start := time.Now()
 	m.releaseLocal(tx)
 	m.safeDeliverChildren(tx, kindEnded)
+	m.hPhase2.Observe(time.Since(p2Start))
+	m.observeBeginToEnded(tx)
 }
 
 // applyAborting performs the abort on this node at the home node's

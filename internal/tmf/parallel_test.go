@@ -16,6 +16,7 @@ import (
 	"encompass/internal/expand"
 	"encompass/internal/hw"
 	"encompass/internal/msg"
+	"encompass/internal/obs"
 	"encompass/internal/txid"
 )
 
@@ -238,11 +239,12 @@ func TestReleaseFailureCounted(t *testing.T) {
 	if err := mn.mon.End(tx); !errors.Is(err, ErrAborted) {
 		t.Fatalf("End = %v, want ErrAborted", err)
 	}
-	st := mn.mon.Stats()
-	if st.UnreleasedVolumes == 0 {
-		t.Error("UnreleasedVolumes = 0, want the ghost volume counted")
+	// The registry counter is the source of truth; Stats.UnreleasedVolumes
+	// is a thin alias over it.
+	if mn.mon.Registry().Counter(obs.MUnreleasedVolumes).Value() == 0 {
+		t.Error("unreleased-volumes counter = 0, want the ghost volume counted")
 	}
-	if st.Aborted != 1 {
+	if st := mn.mon.Stats(); st.Aborted != 1 {
 		t.Errorf("aborted = %d, want 1", st.Aborted)
 	}
 }
@@ -268,9 +270,8 @@ func TestBackoutScanFailureSurfaced(t *testing.T) {
 	if err := mn.mon.Abort(tx, "operator abort"); err != nil {
 		t.Fatal(err)
 	}
-	st := mn.mon.Stats()
-	if st.BackoutScanFailures == 0 {
-		t.Error("BackoutScanFailures = 0, want the unreadable trail counted")
+	if mn.mon.Registry().Counter(obs.MBackoutScanFailures).Value() == 0 {
+		t.Error("backout-scan-failures counter = 0, want the unreadable trail counted")
 	}
 	reason := mn.mon.AbortReason(tx)
 	if !strings.Contains(reason, "backout incomplete") || !strings.Contains(reason, "no-such-audit") {

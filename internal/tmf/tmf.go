@@ -33,6 +33,7 @@ import (
 	"encompass/internal/expand"
 	"encompass/internal/hw"
 	"encompass/internal/msg"
+	"encompass/internal/obs"
 	"encompass/internal/txid"
 )
 
@@ -73,6 +74,9 @@ type tcb struct {
 	phase1Acked bool // non-home: we replied affirmatively to phase one
 	abortReason string
 
+	// beginAt anchors the begin→ENDED latency histogram.
+	beginAt time.Time
+
 	// noNewWork closes the transaction to further data-base operations:
 	// set when END-TRANSACTION starts, when phase one is processed, and at
 	// the top of the abort path. The DISCPROCESS participation check
@@ -92,7 +96,10 @@ type tcb struct {
 	protoMu sync.Mutex
 }
 
-// Stats counts TMF activity on a node.
+// Stats counts TMF activity on a node. Every field except SafeQueueDepth
+// is a thin alias over the node's obs.Registry counters (the single source
+// of truth); new code should read the registry directly via
+// Monitor.Registry() and the obs.M* metric names.
 type Stats struct {
 	Begun         uint64
 	Committed     uint64
@@ -133,10 +140,19 @@ type Monitor struct {
 	sqMu      sync.Mutex
 	safeQueue map[string][]safeMsg
 
-	stats struct {
-		begun, committed, aborted, backouts, broadcast uint64
-		unreleased, backoutScanFails                   uint64
-	}
+	// Observability: the registry is the single source of truth for
+	// activity counters (Stats is a thin alias view), the tracer captures
+	// per-transaction lifecycle events, and the checker validates every
+	// state-change broadcast against Figure 3 at emission time.
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	checker *obs.StateMachineChecker
+
+	// Pre-resolved metric handles (hot path: no map lookups per event).
+	cBegun, cCommitted, cAborted, cBackouts   *obs.Counter
+	cBroadcast, cUnreleased, cScanFails       *obs.Counter
+	cStateViolations                          *obs.Counter
+	hBeginToEnded, hPhase1, hPhase2, hBackout *obs.Histogram
 
 	// fanout bounds concurrent protocol calls per commit/abort step
 	// (0 = one goroutine per participant, 1 = sequential).
@@ -175,6 +191,18 @@ type Config struct {
 	// per participant; 1 reproduces the sequential seed behaviour and is
 	// kept for the fan-out ablation benchmark.
 	CommitFanout int
+	// Registry receives the monitor's activity counters and per-phase
+	// latency histograms; nil creates a private registry (Stats and
+	// Registry() still work).
+	Registry *obs.Registry
+	// Tracer, when non-nil, captures per-transaction lifecycle traces.
+	// The facade shares one tracer across the monitor and the node's
+	// DISCPROCESSes so a transaction's trace interleaves both sides.
+	Tracer *obs.Tracer
+	// StrictStateCheck turns the Figure 3 checker into a runtime
+	// assertion: an illegal state-change broadcast panics at emission.
+	// Violations are always counted and retained either way.
+	StrictStateCheck bool
 }
 
 // New creates and starts the node's TMF monitor, including its TMP pair.
@@ -183,6 +211,10 @@ func New(cfg Config) (*Monitor, error) {
 	mat := cfg.MonitorTrail
 	if mat == nil {
 		mat = audit.NewMonitorTrail(cfg.MonitorTrailForceDelay)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
 	m := &Monitor{
 		sys:       cfg.System,
@@ -195,6 +227,22 @@ func New(cfg Config) (*Monitor, error) {
 		safeQueue: make(map[string][]safeMsg),
 		tables:    make([]map[txid.ID]txid.State, node.NumCPUs()),
 		fanout:    cfg.CommitFanout,
+		reg:       reg,
+		tracer:    cfg.Tracer,
+		checker:   obs.NewStateMachineChecker(cfg.StrictStateCheck),
+
+		cBegun:           reg.Counter(obs.MBegun),
+		cCommitted:       reg.Counter(obs.MCommitted),
+		cAborted:         reg.Counter(obs.MAborted),
+		cBackouts:        reg.Counter(obs.MBackouts),
+		cBroadcast:       reg.Counter(obs.MBroadcasts),
+		cUnreleased:      reg.Counter(obs.MUnreleasedVolumes),
+		cScanFails:       reg.Counter(obs.MBackoutScanFailures),
+		cStateViolations: reg.Counter(obs.MStateViolations),
+		hBeginToEnded:    reg.Histogram(obs.MBeginToEnded),
+		hPhase1:          reg.Histogram(obs.MPhaseOne),
+		hPhase2:          reg.Histogram(obs.MPhaseTwo),
+		hBackout:         reg.Histogram(obs.MBackout),
 	}
 	for i := range m.tables {
 		m.tables[i] = make(map[txid.ID]txid.State)
@@ -263,9 +311,11 @@ func (m *Monitor) Begin(cpu int) (txid.ID, error) {
 		isHome:    true,
 		children:  make(map[string]bool),
 		localVols: make(map[string]bool),
+		beginAt:   time.Now(),
 	}
-	m.stats.begun++
 	m.mu.Unlock()
+	m.cBegun.Inc()
+	m.tracer.Record(obs.Event{Tx: id, Kind: obs.EvBegin, Node: m.node, CPU: cpu})
 	m.broadcast(id, txid.StateActive)
 	return id, nil
 }
@@ -285,8 +335,11 @@ func (m *Monitor) beginRemote(id txid.ID, source string) (alreadyKnown bool) {
 		source:    source,
 		children:  make(map[string]bool),
 		localVols: make(map[string]bool),
+		beginAt:   time.Now(),
 	}
 	m.mu.Unlock()
+	m.tracer.Record(obs.Event{Tx: id, Kind: obs.EvBegin, Node: m.node,
+		CPU: m.tmpCPUOrFirstUp(), Detail: "remote from " + source})
 	m.broadcast(id, txid.StateActive)
 	return false
 }
@@ -350,11 +403,18 @@ func (m *Monitor) broadcast(tx txid.ID, to txid.State) {
 	m.transitions = append(m.transitions, tr)
 	if !from.CanTransition(to) {
 		m.violations = append(m.violations, tr)
+		m.cStateViolations.Inc()
 	}
 	m.trMu.Unlock()
 
-	node := m.sys.Node()
 	srcCPU := m.tmpCPUOrFirstUp()
+	m.tracer.Record(obs.Event{Tx: tx, Kind: obs.EvState, From: from, To: to,
+		Node: m.node, CPU: srcCPU})
+	// Runtime Figure 3 assertion: panics here in strict mode, at the exact
+	// point the illegal broadcast is emitted.
+	_ = m.checker.Observe(m.node, tx, from, to)
+
+	node := m.sys.Node()
 	for _, cpu := range node.UpCPUs() {
 		cpu := cpu
 		err := node.Transfer(srcCPU, cpu, func() {
@@ -370,9 +430,7 @@ func (m *Monitor) broadcast(tx txid.ID, to txid.State) {
 			m.tabMu.Unlock()
 		})
 		if err == nil {
-			m.mu.Lock()
-			m.stats.broadcast++
-			m.mu.Unlock()
+			m.cBroadcast.Inc()
 		}
 	}
 }
@@ -400,19 +458,18 @@ func (m *Monitor) Transitions() (all, violations []Transition) {
 	return append([]Transition(nil), m.transitions...), append([]Transition(nil), m.violations...)
 }
 
-// Stats returns activity counters.
+// Stats returns activity counters: an alias view over the obs registry,
+// kept for existing callers.
 func (m *Monitor) Stats() Stats {
-	m.mu.Lock()
 	s := Stats{
-		Begun:               m.stats.begun,
-		Committed:           m.stats.committed,
-		Aborted:             m.stats.aborted,
-		Backouts:            m.stats.backouts,
-		BroadcastMsgs:       m.stats.broadcast,
-		UnreleasedVolumes:   m.stats.unreleased,
-		BackoutScanFailures: m.stats.backoutScanFails,
+		Begun:               m.cBegun.Value(),
+		Committed:           m.cCommitted.Value(),
+		Aborted:             m.cAborted.Value(),
+		Backouts:            m.cBackouts.Value(),
+		BroadcastMsgs:       m.cBroadcast.Value(),
+		UnreleasedVolumes:   m.cUnreleased.Value(),
+		BackoutScanFailures: m.cScanFails.Value(),
 	}
-	m.mu.Unlock()
 	m.sqMu.Lock()
 	for _, q := range m.safeQueue {
 		s.SafeQueueDepth += len(q)
@@ -420,6 +477,15 @@ func (m *Monitor) Stats() Stats {
 	m.sqMu.Unlock()
 	return s
 }
+
+// Registry exposes the monitor's metrics registry.
+func (m *Monitor) Registry() *obs.Registry { return m.reg }
+
+// Tracer exposes the monitor's lifecycle tracer (nil when tracing is off).
+func (m *Monitor) Tracer() *obs.Tracer { return m.tracer }
+
+// Checker exposes the runtime Figure 3 checker.
+func (m *Monitor) Checker() *obs.StateMachineChecker { return m.checker }
 
 func (m *Monitor) tmpCPUOrFirstUp() int {
 	if m.tmpCPU != nil {

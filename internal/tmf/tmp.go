@@ -7,6 +7,7 @@ import (
 
 	"encompass/internal/hw"
 	"encompass/internal/msg"
+	"encompass/internal/obs"
 	"encompass/internal/pair"
 	"encompass/internal/txid"
 )
@@ -116,11 +117,26 @@ func (m *Monitor) tmpCall(destNode, kind string, req tmpReq) error {
 	return err
 }
 
+// tmpCallResp is the single choke point for TMP-to-TMP calls; each call
+// traces as a child-request/child-reply event pair (the reply carries the
+// round-trip time, and an error on a safe-delivery kind means the message
+// went to the retry queue, not that it was lost).
 func (m *Monitor) tmpCallResp(destNode, kind string, req tmpReq) (msg.Message, error) {
 	req.Source = m.node
+	cpu := m.tmpCPUOrFirstUp()
+	m.tracer.Record(obs.Event{Tx: req.Tx, Kind: obs.EvChildRequest, Node: m.node,
+		CPU: cpu, Detail: destNode + " " + kind})
 	ctx, cancel := context.WithTimeout(context.Background(), criticalCallTimeout)
 	defer cancel()
-	return m.sys.ClientCall(ctx, m.tmpCPUOrFirstUp(), msg.Addr{Node: destNode, Name: tmpName}, kind, req)
+	start := time.Now()
+	resp, err := m.sys.ClientCall(ctx, cpu, msg.Addr{Node: destNode, Name: tmpName}, kind, req)
+	ev := obs.Event{Tx: req.Tx, Kind: obs.EvChildReply, Node: m.node,
+		CPU: cpu, Dur: time.Since(start), Detail: destNode + " " + kind}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	m.tracer.Record(ev)
+	return resp, err
 }
 
 // NoteRemoteSend must be called before the first transmission of a transid
@@ -180,10 +196,12 @@ func (m *Monitor) phase1Inbound(tx txid.ID) error {
 	}
 	// Local trail forces and the recursive phase one to our own children
 	// run in parallel, exactly as on the home node.
+	p1Start := time.Now()
 	if err := m.phase1(tx); err != nil {
 		m.abortLocked(tx, fmt.Sprintf("phase one failed: %v", err))
 		return err
 	}
+	m.hPhase1.Observe(time.Since(p1Start))
 	m.mu.Lock()
 	t.phase1Acked = true
 	m.mu.Unlock()

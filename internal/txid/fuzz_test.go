@@ -1,0 +1,65 @@
+package txid
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary strings through Parse: it must never panic,
+// and any string it accepts must survive an ID → String → Parse round
+// trip unchanged.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`\alpha(0).1`,
+		`\west(3).42`,
+		`\n(12).18446744073709551615`,
+		``,
+		`\`,
+		`alpha(0).1`,
+		`\(0).1`,
+		`\a(-1).1`,
+		`\a(0)1`,
+		`\a(x).y`,
+		`\a(0).`,
+		`\a(0).(1).2`,
+		`\a(999999999999999999999).1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(id.String())
+		if err != nil {
+			t.Fatalf("re-parse of %v (accepted from %q): %v", id, s, err)
+		}
+		if back != id {
+			t.Fatalf("round trip of %q: %v -> %q -> %v", s, id, id.String(), back)
+		}
+	})
+}
+
+// FuzzIDRoundTrip generates IDs directly and checks the documented
+// round-trip guarantee: Parse(id.String()) == id whenever Home is
+// non-empty and contains no '(' and CPU is non-negative.
+func FuzzIDRoundTrip(f *testing.F) {
+	f.Add("alpha", 0, uint64(1))
+	f.Add("west", 15, uint64(0))
+	f.Add("n-1.x", 3, uint64(1<<63))
+	f.Fuzz(func(t *testing.T, home string, cpu int, seq uint64) {
+		if home == "" || strings.Contains(home, "(") || cpu < 0 {
+			t.Skip()
+		}
+		id := ID{Home: home, CPU: cpu, Seq: seq}
+		got, err := Parse(id.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Fatalf("round trip: %v -> %q -> %v", id, id.String(), got)
+		}
+	})
+}

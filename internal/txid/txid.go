@@ -8,7 +8,10 @@
 package txid
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"encompass/internal/msg"
 )
@@ -25,6 +28,38 @@ func (id ID) IsZero() bool { return id == ID{} }
 
 // String renders the transid as \home(cpu).seq, the paper's notation.
 func (id ID) String() string { return fmt.Sprintf(`\%s(%d).%d`, id.Home, id.CPU, id.Seq) }
+
+// ErrBadID reports a transid string that does not parse.
+var ErrBadID = errors.New("txid: malformed transid")
+
+// Parse decodes the \home(cpu).seq notation produced by String. A valid
+// transid round-trips: Parse(id.String()) == id for any id whose Home
+// contains no '(' and is non-empty.
+func Parse(s string) (ID, error) {
+	if !strings.HasPrefix(s, `\`) {
+		return ID{}, fmt.Errorf(`%w: %q lacks leading \`, ErrBadID, s)
+	}
+	rest := s[1:]
+	open := strings.Index(rest, "(")
+	if open <= 0 {
+		return ID{}, fmt.Errorf("%w: %q lacks (cpu)", ErrBadID, s)
+	}
+	home := rest[:open]
+	rest = rest[open+1:]
+	sep := strings.Index(rest, ").")
+	if sep < 0 {
+		return ID{}, fmt.Errorf("%w: %q lacks ).seq", ErrBadID, s)
+	}
+	cpu, err := strconv.Atoi(rest[:sep])
+	if err != nil || cpu < 0 {
+		return ID{}, fmt.Errorf("%w: bad cpu in %q", ErrBadID, s)
+	}
+	seq, err := strconv.ParseUint(rest[sep+2:], 10, 64)
+	if err != nil {
+		return ID{}, fmt.Errorf("%w: bad seq in %q", ErrBadID, s)
+	}
+	return ID{Home: home, CPU: cpu, Seq: seq}, nil
+}
 
 // State is a transaction state per Figure 3 of the paper.
 type State int
