@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race fuzz bench experiments
+.PHONY: all build test check race fuzz chaos-short bench experiments
 
 all: check
 
@@ -31,12 +31,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIDRoundTrip -fuzztime 5s ./internal/txid/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 5s ./internal/msg/
 	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime 5s ./internal/msg/
+	$(GO) test -run '^$$' -fuzz FuzzFrameBitFlip -fuzztime 5s ./internal/msg/
+
+# Short, seeded, race-enabled run of the banking workload over a lossy,
+# duplicating, reordering west–east line with link flaps: the fast gate
+# for the unreliable-EXPAND + idempotent-2PC path.
+chaos-short:
+	$(GO) test -race -short -run TestChaosLossyLink -count=1 .
 
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) race
 	$(MAKE) fuzz
+	$(MAKE) chaos-short
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -9,6 +9,7 @@ import (
 
 	"encompass"
 	"encompass/internal/audit"
+	"encompass/internal/expand"
 	"encompass/internal/obs"
 	"encompass/internal/workload"
 )
@@ -223,36 +224,7 @@ func TestChaosTraceOracle(t *testing.T) {
 		}
 	}
 
-	settle := func() {
-		for _, n := range sys.Nodes() {
-			n.TMF.FlushSafeQueue()
-			n.TMF.WaitSafeQueueEmpty(2 * time.Second)
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
-	settle()
-
-	// Resolve stragglers the way an operator would: abort live home
-	// transactions, then force each remaining participant to its home
-	// node's recorded disposition.
-	for _, n := range sys.Nodes() {
-		for _, id := range n.TMF.Tracer().Transactions() {
-			if id.Home == n.Name && !n.TMF.State(id).Terminal() {
-				_ = n.TMF.Abort(id, "end-of-run sweep")
-			}
-		}
-	}
-	settle()
-	for _, n := range sys.Nodes() {
-		for _, id := range n.TMF.Tracer().Transactions() {
-			if n.TMF.State(id).Terminal() {
-				continue
-			}
-			o, ok := sys.Node(id.Home).TMF.Outcome(id)
-			_ = n.TMF.ForceDisposition(id, ok && o == audit.OutcomeCommitted)
-		}
-	}
-	settle()
+	operatorSweep(sys)
 
 	if committed == 0 {
 		t.Fatal("nothing committed through the chaos")
@@ -264,6 +236,50 @@ func TestChaosTraceOracle(t *testing.T) {
 		t.Fatalf("ATOMICITY VIOLATED: %v", err)
 	}
 
+	validated := validateAllTraces(t, sys)
+	t.Logf("trace oracle: %d traces validated (%d committed, %d voluntary aborts)",
+		validated, committed, voluntaryAborts)
+}
+
+// settleAll flushes every node's safe-delivery queue and waits for
+// in-flight protocol traffic to drain.
+func settleAll(sys *encompass.System) {
+	for _, n := range sys.Nodes() {
+		n.TMF.FlushSafeQueue()
+		n.TMF.WaitSafeQueueEmpty(2 * time.Second)
+	}
+	time.Sleep(200 * time.Millisecond)
+}
+
+// operatorSweep resolves stragglers the way an operator would: abort live
+// home transactions, then force each remaining participant to its home
+// node's recorded disposition.
+func operatorSweep(sys *encompass.System) {
+	settleAll(sys)
+	for _, n := range sys.Nodes() {
+		for _, id := range n.TMF.Tracer().Transactions() {
+			if id.Home == n.Name && !n.TMF.State(id).Terminal() {
+				_ = n.TMF.Abort(id, "end-of-run sweep")
+			}
+		}
+	}
+	settleAll(sys)
+	for _, n := range sys.Nodes() {
+		for _, id := range n.TMF.Tracer().Transactions() {
+			if n.TMF.State(id).Terminal() {
+				continue
+			}
+			o, ok := sys.Node(id.Home).TMF.Outcome(id)
+			_ = n.TMF.ForceDisposition(id, ok && o == audit.OutcomeCommitted)
+		}
+	}
+	settleAll(sys)
+}
+
+// validateAllTraces feeds every captured transaction trace through the
+// Figure 3 oracle and checks the runtime checker saw no illegal broadcast.
+func validateAllTraces(t *testing.T, sys *encompass.System) int {
+	t.Helper()
 	validated := 0
 	for _, n := range sys.Nodes() {
 		tr := n.TMF.Tracer()
@@ -283,8 +299,98 @@ func TestChaosTraceOracle(t *testing.T) {
 	if validated == 0 {
 		t.Fatal("no traces captured")
 	}
-	t.Logf("trace oracle: %d traces validated (%d committed, %d voluntary aborts)",
-		validated, committed, voluntaryAborts)
+	return validated
+}
+
+// TestChaosLossyLink runs the banking workload over a single west–east
+// line that loses, duplicates, reorders and corrupts frames — the
+// "unreliable EXPAND" mode — while the line also flaps down and up. Every
+// protocol message rides the reliable-session layer; the invariants are
+// the same as ever: balances must stay consistent, every trace must pass
+// the Figure 3 oracle, and the session counters must show the layer
+// actually worked (retransmits and suppressed duplicates both nonzero).
+func TestChaosLossyLink(t *testing.T) {
+	sys, err := encompass.Build(encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "west", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v-west", Audited: true, CacheSize: 256}}},
+			{Name: "east", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v-east", Audited: true, CacheSize: 256}}},
+		},
+		TraceCapacity: 32768,
+		LinkFault: expand.FaultProfile{
+			Loss: 0.12, Duplicate: 0.06, Reorder: 0.25, Corrupt: 0.03,
+			JitterMax: 2 * time.Millisecond, Seed: 4242,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := workload.SetupBank(sys, workload.BankConfig{
+		Placement: []workload.Placement{
+			{Node: "west", Volume: "v-west"},
+			{Node: "east", Volume: "v-east"},
+		},
+		Branches: 4, Tellers: 3, Accounts: 40,
+		RemoteFraction: 0.3,
+		MaxRetries:     40,
+		Seed:           4242,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perNode, workers := 100, 3
+	if testing.Short() {
+		perNode, workers = 30, 2
+	}
+
+	// Flap the (already lossy) line a few times mid-run: in-flight session
+	// frames are dropped at delivery time and retransmitted after the heal.
+	var stop atomic.Bool
+	flapperDone := make(chan struct{})
+	go func() {
+		defer close(flapperDone)
+		rng := rand.New(rand.NewSource(4243))
+		for !stop.Load() {
+			time.Sleep(time.Duration(40+rng.Intn(40)) * time.Millisecond)
+			sys.Network.FailLink("west", "east")
+			time.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+			sys.Network.HealLink("west", "east")
+		}
+	}()
+
+	results := make(chan workload.Result, 2)
+	for _, node := range []string{"west", "east"} {
+		node := node
+		go func() { results <- bank.Run(node, perNode, workers) }()
+	}
+	committed := 0
+	for i := 0; i < 2; i++ {
+		committed += (<-results).Committed
+	}
+	stop.Store(true)
+	<-flapperDone
+	sys.Network.HealLink("west", "east")
+
+	operatorSweep(sys)
+
+	if committed == 0 {
+		t.Fatal("nothing committed over the lossy line")
+	}
+	if err := bank.VerifyConsistency(); err != nil {
+		t.Fatalf("ATOMICITY VIOLATED under message chaos: %v", err)
+	}
+	validated := validateAllTraces(t, sys)
+
+	st := sys.Network.Stats()
+	if st.Retransmits == 0 {
+		t.Error("Retransmits = 0: the session layer never retransmitted under 12% loss")
+	}
+	if st.DupsDropped == 0 {
+		t.Error("DupsDropped = 0: no duplicates suppressed under 6% duplication")
+	}
+	t.Logf("lossy chaos: %d committed, %d traces validated; net: frames=%d lost=%d retransmits=%d dups=%d corrupt=%d give_ups=%d link_down=%d",
+		committed, validated, st.Frames, st.FramesLost, st.Retransmits,
+		st.DupsDropped, st.CorruptFrames, st.GiveUps, st.LinkDownDrops)
 }
 
 func padAcct(a int) string {

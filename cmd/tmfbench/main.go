@@ -6,9 +6,10 @@
 // Usage:
 //
 //	tmfbench -exp all      # every experiment (default)
-//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T9 (claims)
+//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T10 (claims)
 //	tmfbench -list         # list experiments
 //	tmfbench -exp T9 -fanout 4 -batchwindow 200us   # tune T9's knobs
+//	tmfbench -exp T10 -loss 0.2 -dup 0.1            # tune T10's fault profile
 package main
 
 import (
@@ -33,16 +34,21 @@ var descriptions = []struct{ id, title string }{
 	{"T7", "update availability under partition"},
 	{"T8", "availability through processor failure: NonStop vs conventional restart"},
 	{"T9", "parallel commit fan-out and audit group commit"},
+	{"T10", "suspense convergence over flaky lines (lossy partition heal)"},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: F1-F4, T1-T9, or all")
+	exp := flag.String("exp", "all", "experiment to run: F1-F4, T1-T10, or all")
 	list := flag.Bool("list", false, "list experiments and exit")
 	fanout := flag.Int("fanout", 0, "T9: bound on concurrent commit protocol calls (0 = one goroutine per participant)")
 	batchWindow := flag.Duration("batchwindow", 0, "T9: group-commit coalescing window (0 = write immediately)")
+	loss := flag.Float64("loss", experiments.T10Loss, "T10: per-frame loss probability on every line")
+	dup := flag.Float64("dup", experiments.T10Dup, "T10: per-frame duplication probability on every line")
 	flag.Parse()
 	experiments.T9Fanout = *fanout
 	experiments.T9BatchWindow = *batchWindow
+	experiments.T10Loss = *loss
+	experiments.T10Dup = *dup
 
 	if *list {
 		for _, d := range descriptions {

@@ -93,7 +93,9 @@ func runTrace(args []string) error {
 }
 
 // runMetrics replays the scenario and prints each node's metrics registry
-// — the counters and per-phase latency histograms the TMF recorded.
+// — the counters and per-phase latency histograms the TMF recorded —
+// followed by the EXPAND network's frame-level counters (retransmits,
+// duplicates dropped, frames lost to injected faults or failed lines).
 func runMetrics() error {
 	sys, _, err := scenario(false)
 	if err != nil {
@@ -102,6 +104,12 @@ func runMetrics() error {
 	for _, n := range sys.Nodes() {
 		fmt.Printf("--- node %s ---\n%s\n", n.Name, n.TMF.Registry())
 	}
+	st := sys.Network.Stats()
+	fmt.Printf("--- network ---\n")
+	fmt.Printf("%-28s %d\n", "net.frames", st.Frames)
+	fmt.Printf("%-28s %d\n", "net.bytes", st.Bytes)
+	fmt.Printf("%-28s %d\n", "net.no_path", st.NoPath)
+	fmt.Print(sys.NetObs)
 	return nil
 }
 

@@ -99,6 +99,11 @@ type Config struct {
 	// StrictStateCheck turns each monitor's Figure 3 checker into a
 	// runtime assertion: an illegal state-change broadcast panics.
 	StrictStateCheck bool
+	// LinkFault, when non-zero, applies the same fault profile (loss,
+	// duplication, reorder, corruption, jitter) to every link, switching
+	// EXPAND into its reliable-session mode. Per-link profiles can still
+	// be set afterwards via Network.SetLinkFault.
+	LinkFault expand.FaultProfile
 }
 
 // Volume bundles the running pieces serving one disc volume.
@@ -126,8 +131,11 @@ type Node struct {
 // System is the running simulation: all nodes plus the network.
 type System struct {
 	Network *expand.Network
-	nodes   map[string]*Node
-	order   []string
+	// NetObs mirrors the network's frame-level counters (retransmits,
+	// dups dropped, frames lost, ...) as an obs registry for tmfctl.
+	NetObs *obs.Registry
+	nodes  map[string]*Node
+	order  []string
 }
 
 // Build assembles and starts the configured system.
@@ -137,8 +145,10 @@ func Build(cfg Config) (*System, error) {
 	}
 	s := &System{
 		Network: expand.NewNetwork(cfg.NetLatency),
+		NetObs:  obs.NewRegistry(),
 		nodes:   make(map[string]*Node),
 	}
+	s.Network.SetObs(s.NetObs)
 	for _, ns := range cfg.Nodes {
 		n, err := buildNode(s.Network, ns, cfg)
 		if err != nil {
@@ -157,6 +167,9 @@ func Build(cfg Config) (*System, error) {
 		if err := s.Network.AddLink(l[0], l[1]); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.LinkFault.Faulty() {
+		s.Network.SetFaultAll(cfg.LinkFault)
 	}
 	return s, nil
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"encompass/internal/msg"
+	"encompass/internal/obs"
 )
 
 // Errors reported by the network.
@@ -46,6 +47,15 @@ type Stats struct {
 	Frames uint64 // frames delivered
 	Bytes  uint64 // encoded bytes delivered
 	NoPath uint64 // sends rejected for unreachability
+
+	// Unreliable-mode counters (all zero while every line is clean).
+	Retransmits    uint64 // session-layer frame retransmissions
+	DupsDropped    uint64 // duplicate frames suppressed by the dedup window
+	FramesLost     uint64 // frames dropped by injected line loss
+	CorruptFrames  uint64 // frames rejected by the checksum
+	LinkDownDrops  uint64 // in-flight frames lost because the line failed
+	DecodeFailures uint64 // delivered frames that would not decode
+	GiveUps        uint64 // frames abandoned after bounded retransmission
 }
 
 // Network is a collection of nodes joined by point-to-point communication
@@ -56,21 +66,60 @@ type Network struct {
 	mu       sync.Mutex
 	systems  map[string]*msg.System
 	links    map[linkKey]*link
+	faults   map[linkKey]*linkFault
 	watchers []func()
 
-	frames atomic.Uint64
-	bytes  atomic.Uint64
-	noPath atomic.Uint64
+	// unreliable flips on when any line has a fault profile; all traffic
+	// then rides the reliable-session layer (fault.go).
+	unreliable atomic.Bool
+	sessMu     sync.Mutex
+	sessions   map[sessKey]*session
+
+	frames         atomic.Uint64
+	bytes          atomic.Uint64
+	noPath         atomic.Uint64
+	retransmits    atomic.Uint64
+	dupsDropped    atomic.Uint64
+	framesLost     atomic.Uint64
+	corruptFrames  atomic.Uint64
+	linkDownDrops  atomic.Uint64
+	decodeFailures atomic.Uint64
+	giveUps        atomic.Uint64
+
+	// Optional obs mirrors of the unreliable-mode counters (nil-safe).
+	cRetransmits, cDupsDropped, cFramesLost, cCorruptFrames *obs.Counter
+	cLinkDownDrops, cDecodeFailures, cGiveUps               *obs.Counter
 }
 
 // NewNetwork creates an empty network. latency is the simulated per-hop
 // propagation delay; zero delivers synchronously.
 func NewNetwork(latency time.Duration) *Network {
 	return &Network{
-		latency: latency,
-		systems: make(map[string]*msg.System),
-		links:   make(map[linkKey]*link),
+		latency:  latency,
+		systems:  make(map[string]*msg.System),
+		links:    make(map[linkKey]*link),
+		faults:   make(map[linkKey]*linkFault),
+		sessions: make(map[sessKey]*session),
 	}
+}
+
+// SetObs mirrors the network's fault and session counters into a metrics
+// registry (under the obs.MNet* names) so tmfctl and tmfbench can report
+// them alongside TMF's own counters.
+func (n *Network) SetObs(reg *obs.Registry) {
+	n.cRetransmits = reg.Counter(obs.MNetRetransmits)
+	n.cDupsDropped = reg.Counter(obs.MNetDupsDropped)
+	n.cFramesLost = reg.Counter(obs.MNetFramesLost)
+	n.cCorruptFrames = reg.Counter(obs.MNetCorruptFrames)
+	n.cLinkDownDrops = reg.Counter(obs.MNetLinkDownDrops)
+	n.cDecodeFailures = reg.Counter(obs.MNetDecodeFailures)
+	n.cGiveUps = reg.Counter(obs.MNetGiveUps)
+}
+
+// bump increments an internal counter and its obs mirror.
+func (n *Network) bump(a *atomic.Uint64, c *obs.Counter) {
+	a.Add(1)
+	c.Inc()
 }
 
 // Attach joins a node's message system to the network and installs the
@@ -186,6 +235,9 @@ func (n *Network) notifyTopology() {
 	for _, w := range ws {
 		w()
 	}
+	// Wake the reliable sessions: frames queued for retransmission should
+	// cross a healed line immediately rather than waiting out the backoff.
+	n.kickSessions()
 }
 
 // Nodes returns the names of all attached nodes, sorted.
@@ -213,16 +265,27 @@ func (n *Network) Hops(a, b string) (int, error) { return n.route(a, b) }
 // route runs a BFS over up links. Cheap at the scale of the paper's
 // networks (the corporate net was ~50 nodes).
 func (n *Network) route(src, dst string) (hops int, err error) {
+	path, err := n.pathLinks(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return len(path), nil
+}
+
+// pathLinks returns the lines of the current best path src→dst, in order,
+// so the fault injector can apply each line's profile to a frame crossing
+// it.
+func (n *Network) pathLinks(src, dst string) ([]linkKey, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.systems[src]; !ok {
-		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, src)
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, src)
 	}
 	if _, ok := n.systems[dst]; !ok {
-		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, dst)
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, dst)
 	}
 	if src == dst {
-		return 0, nil
+		return nil, nil
 	}
 	adj := make(map[string][]string)
 	for k, l := range n.links {
@@ -231,26 +294,36 @@ func (n *Network) route(src, dst string) (hops int, err error) {
 			adj[k.b] = append(adj[k.b], k.a)
 		}
 	}
-	dist := map[string]int{src: 0}
+	prev := map[string]string{src: src}
 	queue := []string{src}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
 		if cur == dst {
-			return dist[cur], nil
+			var path []linkKey
+			for at := dst; at != src; at = prev[at] {
+				path = append(path, mkLinkKey(at, prev[at]))
+			}
+			// Reverse into src→dst order.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, nil
 		}
 		for _, nb := range adj[cur] {
-			if _, seen := dist[nb]; !seen {
-				dist[nb] = dist[cur] + 1
+			if _, seen := prev[nb]; !seen {
+				prev[nb] = cur
 				queue = append(queue, nb)
 			}
 		}
 	}
-	return 0, fmt.Errorf("%w: %s from %s", ErrNoPath, dst, src)
+	return nil, fmt.Errorf("%w: %s from %s", ErrNoPath, dst, src)
 }
 
 // send implements the end-to-end protocol: it either commits to delivering
-// the frame (returning nil) or reports unreachability synchronously.
+// the frame (returning nil) or reports unreachability synchronously. In
+// unreliable mode the commitment is backed by the reliable-session layer;
+// on clean lines the frame is delivered directly.
 func (n *Network) send(from, to string, m msg.Message) error {
 	hops, err := n.route(from, to)
 	if err != nil {
@@ -263,19 +336,19 @@ func (n *Network) send(from, to string, m msg.Message) error {
 	if err != nil {
 		return fmt.Errorf("expand: encoding %s payload for %s: %w", m.Kind, to, err)
 	}
-	n.mu.Lock()
-	dest := n.systems[to]
-	n.mu.Unlock()
+	if n.unreliable.Load() {
+		n.sendSession(from, to, frame)
+		return nil
+	}
 	deliver := func() {
-		dm, err := decodeFrame(frame)
-		if err != nil {
-			// An undecodable frame indicates a missing gob registration;
-			// surface loudly rather than dropping silently.
-			panic(fmt.Sprintf("expand: decoding frame for %s: %v", to, err))
+		// Re-check the line at delivery time: a frame in flight over a
+		// line that failed after the send is lost, not delivered over a
+		// dead line. The sender's timeout covers it.
+		if _, err := n.route(from, to); err != nil {
+			n.bump(&n.linkDownDrops, n.cLinkDownDrops)
+			return
 		}
-		n.frames.Add(1)
-		n.bytes.Add(uint64(len(frame)))
-		_ = dest.DeliverFromNetwork(dm)
+		n.deliverPayload(to, frame)
 	}
 	if n.latency <= 0 {
 		deliver()
@@ -285,9 +358,41 @@ func (n *Network) send(from, to string, m msg.Message) error {
 	return nil
 }
 
+// deliverPayload decodes a frame and injects it into the destination node.
+// An undecodable frame is counted and dropped, never a crash: on a real
+// network a mangled frame that survived the checksum is still just a bad
+// frame.
+func (n *Network) deliverPayload(to string, frame []byte) {
+	n.mu.Lock()
+	dest := n.systems[to]
+	n.mu.Unlock()
+	if dest == nil {
+		return
+	}
+	dm, err := decodeFrame(frame)
+	if err != nil {
+		n.bump(&n.decodeFailures, n.cDecodeFailures)
+		return
+	}
+	n.frames.Add(1)
+	n.bytes.Add(uint64(len(frame)))
+	_ = dest.DeliverFromNetwork(dm)
+}
+
 // Stats returns cumulative traffic counters.
 func (n *Network) Stats() Stats {
-	return Stats{Frames: n.frames.Load(), Bytes: n.bytes.Load(), NoPath: n.noPath.Load()}
+	return Stats{
+		Frames:         n.frames.Load(),
+		Bytes:          n.bytes.Load(),
+		NoPath:         n.noPath.Load(),
+		Retransmits:    n.retransmits.Load(),
+		DupsDropped:    n.dupsDropped.Load(),
+		FramesLost:     n.framesLost.Load(),
+		CorruptFrames:  n.corruptFrames.Load(),
+		LinkDownDrops:  n.linkDownDrops.Load(),
+		DecodeFailures: n.decodeFailures.Load(),
+		GiveUps:        n.giveUps.Load(),
+	}
 }
 
 func encodeFrame(m msg.Message) ([]byte, error) { return msg.Marshal(m) }

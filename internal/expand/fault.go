@@ -1,0 +1,388 @@
+package expand
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultProfile describes the failure behaviour of one communication line:
+// the "flaky leased lines" of the paper's EXPAND network. All probabilities
+// are per frame per link traversal; the RNG is seeded so fault sequences
+// are reproducible.
+type FaultProfile struct {
+	Loss      float64       // P(frame silently dropped on the line)
+	Duplicate float64       // P(frame delivered twice)
+	Reorder   float64       // P(frame delayed by extra jitter, overtaking later frames)
+	Corrupt   float64       // P(frame payload bit-flipped in flight)
+	JitterMax time.Duration // max extra delay for reordered frames (default 1ms)
+	Seed      int64         // RNG seed for reproducibility
+}
+
+// Faulty reports whether the profile injects any fault at all.
+func (p FaultProfile) Faulty() bool {
+	return p.Loss > 0 || p.Duplicate > 0 || p.Reorder > 0 || p.Corrupt > 0 || p.JitterMax > 0
+}
+
+// linkFault holds a line's fault profile plus its private seeded RNG.
+type linkFault struct {
+	p   FaultProfile
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// SetLinkFault installs (or, with a zero profile, removes) a fault profile
+// on an existing line. Installing any faulty profile switches the whole
+// network into unreliable mode: every inter-node frame then travels through
+// the reliable-session layer (sequence numbers, cumulative acks,
+// retransmission with exponential backoff, duplicate suppression), because
+// once any line misbehaves the end-to-end guarantee must come from the
+// protocol, not the line.
+func (n *Network) SetLinkFault(a, b string, p FaultProfile) error {
+	k := mkLinkKey(a, b)
+	n.mu.Lock()
+	if _, ok := n.links[k]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: no link %s-%s", ErrUnknownNode, a, b)
+	}
+	if p.Faulty() {
+		n.faults[k] = &linkFault{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	} else {
+		delete(n.faults, k)
+	}
+	session := len(n.faults) > 0
+	n.mu.Unlock()
+	n.unreliable.Store(session)
+	return nil
+}
+
+// SetFaultAll installs the same fault profile on every line, with the seed
+// perturbed per link so the lines fail independently.
+func (n *Network) SetFaultAll(p FaultProfile) {
+	n.mu.Lock()
+	keys := make([]linkKey, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	n.mu.Unlock()
+	for i, k := range keys {
+		q := p
+		q.Seed = p.Seed + int64(i)*7919
+		_ = n.SetLinkFault(k.a, k.b, q)
+	}
+}
+
+// ClearLinkFaults removes every fault profile, returning the network to
+// reliable (direct-delivery) mode for new traffic. In-flight session frames
+// still drain through their sessions.
+func (n *Network) ClearLinkFaults() {
+	n.mu.Lock()
+	n.faults = make(map[linkKey]*linkFault)
+	n.mu.Unlock()
+	n.unreliable.Store(false)
+}
+
+// --- reliable-session layer ---
+
+// Retransmission parameters: the first retry fires quickly (the simulated
+// lines are fast), then backs off exponentially to a cap. A frame is given
+// up after sessRetries attempts; the consumers' own timeouts and the TMF
+// safe-delivery queue take over from there.
+const (
+	sessRetryBase = 10 * time.Millisecond
+	sessRetryMax  = 250 * time.Millisecond
+	sessRetries   = 10
+	// sessDedupWindow bounds the receiver's out-of-order dedup set. When a
+	// permanent gap (a given-up frame) would pin the window open, the
+	// cumulative ack is forced past the gap; anything older is then a dup.
+	sessDedupWindow = 4096
+)
+
+const (
+	frameData = byte(iota)
+	frameAck
+)
+
+// sessFrame is the session-layer wire frame: a sequenced data frame
+// carrying one encoded message, or a pure cumulative ack.
+type sessFrame struct {
+	src, dst string
+	kind     byte
+	seq      uint64 // data frames only; sequences the src→dst session
+	ack      uint64 // ack frames only; cumulative ack of the dst→src session
+	payload  []byte
+	sum      uint32 // CRC over payload, verified at the receiver
+}
+
+// pendingFrame is one unacknowledged data frame on the sender.
+type pendingFrame struct {
+	payload  []byte
+	sum      uint32
+	attempts int
+}
+
+// session holds the reliable-session state for one DIRECTED node pair:
+// sender state (sequence numbers, retransmit queue) for from→to frames and
+// receiver state (cumulative ack, dedup window) for the same direction.
+type session struct {
+	net      *Network
+	from, to string
+
+	mu         sync.Mutex
+	nextSeq    uint64
+	pending    map[uint64]*pendingFrame
+	rto        time.Duration
+	timerArmed bool
+
+	cumAck uint64          // highest in-order seq delivered to the destination
+	seen   map[uint64]bool // delivered seqs above cumAck (the dedup window)
+}
+
+type sessKey struct{ from, to string }
+
+func (n *Network) session(from, to string) *session {
+	n.sessMu.Lock()
+	defer n.sessMu.Unlock()
+	k := sessKey{from, to}
+	s, ok := n.sessions[k]
+	if !ok {
+		s = &session{net: n, from: from, to: to,
+			pending: make(map[uint64]*pendingFrame), seen: make(map[uint64]bool)}
+		n.sessions[k] = s
+	}
+	return s
+}
+
+// sendSession queues one encoded message on the from→to session and
+// transmits it through the (possibly faulty) lines. The caller has already
+// verified reachability; from here on the session either delivers the frame
+// or gives up after bounded retransmission.
+func (n *Network) sendSession(from, to string, frame []byte) {
+	s := n.session(from, to)
+	s.mu.Lock()
+	s.nextSeq++
+	seq := s.nextSeq
+	pf := &pendingFrame{payload: frame, sum: crc32.ChecksumIEEE(frame)}
+	s.pending[seq] = pf
+	s.mu.Unlock()
+	n.transmitFrame(sessFrame{src: from, dst: to, kind: frameData, seq: seq, payload: pf.payload, sum: pf.sum})
+	s.armTimer()
+}
+
+// transmitFrame pushes one frame through every line of the current best
+// path, applying each line's fault profile: the frame may be dropped,
+// bit-flipped, duplicated, or delayed. An unreachable destination silently
+// loses the frame — the retransmit timer (or the caller's timeout) covers
+// it.
+func (n *Network) transmitFrame(f sessFrame) {
+	path, err := n.pathLinks(f.src, f.dst)
+	if err != nil {
+		return
+	}
+	delay := time.Duration(len(path)) * n.latency
+	copies := 1
+	for _, k := range path {
+		n.mu.Lock()
+		lf := n.faults[k]
+		n.mu.Unlock()
+		if lf == nil {
+			continue
+		}
+		lf.mu.Lock()
+		p, r := lf.p, lf.rng
+		lost := p.Loss > 0 && r.Float64() < p.Loss
+		corrupt := p.Corrupt > 0 && r.Float64() < p.Corrupt
+		dup := p.Duplicate > 0 && r.Float64() < p.Duplicate
+		var jitter time.Duration
+		if p.Reorder > 0 && r.Float64() < p.Reorder {
+			jm := p.JitterMax
+			if jm <= 0 {
+				jm = time.Millisecond
+			}
+			jitter = time.Duration(r.Int63n(int64(jm)))
+		}
+		lf.mu.Unlock()
+		if lost {
+			n.bump(&n.framesLost, n.cFramesLost)
+			return
+		}
+		if corrupt && len(f.payload) > 0 {
+			mut := append([]byte(nil), f.payload...)
+			lf.mu.Lock()
+			bit := lf.rng.Intn(len(mut) * 8)
+			lf.mu.Unlock()
+			mut[bit/8] ^= 1 << (bit % 8)
+			f.payload = mut
+		}
+		if dup {
+			copies++
+		}
+		delay += jitter
+	}
+	for i := 0; i < copies; i++ {
+		if delay <= 0 {
+			n.receiveFrame(f)
+		} else {
+			fc := f
+			time.AfterFunc(delay, func() { n.receiveFrame(fc) })
+		}
+	}
+}
+
+// receiveFrame is the destination end of the session layer: it re-checks
+// the line at delivery time (a frame in flight over a line that failed is
+// lost), verifies the checksum, suppresses duplicates, delivers fresh data
+// frames, and acknowledges cumulatively.
+func (n *Network) receiveFrame(f sessFrame) {
+	if _, err := n.route(f.src, f.dst); err != nil {
+		n.bump(&n.linkDownDrops, n.cLinkDownDrops)
+		return
+	}
+	if crc32.ChecksumIEEE(f.payload) != f.sum {
+		n.bump(&n.corruptFrames, n.cCorruptFrames)
+		return
+	}
+	switch f.kind {
+	case frameAck:
+		// An ack from dst back to src acknowledges the src→dst session.
+		n.session(f.dst, f.src).handleAck(f.ack)
+	case frameData:
+		s := n.session(f.src, f.dst)
+		if s.noteRecv(f.seq) {
+			n.bump(&n.dupsDropped, n.cDupsDropped)
+		} else {
+			n.deliverPayload(f.dst, f.payload)
+		}
+		// Ack even duplicates: the dup usually means our previous ack was
+		// lost and the sender is still retransmitting.
+		s.sendAck()
+	}
+}
+
+// noteRecv records a received sequence number, reporting whether it was a
+// duplicate, and advances the cumulative ack through any filled-in gaps.
+func (s *session) noteRecv(seq uint64) (dup bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.cumAck || s.seen[seq] {
+		return true
+	}
+	s.seen[seq] = true
+	for s.seen[s.cumAck+1] {
+		s.cumAck++
+		delete(s.seen, s.cumAck)
+	}
+	// A permanent gap (the sender gave the frame up) must not pin the dedup
+	// window open forever: force the ack past the gap; anything older is
+	// then treated as a duplicate.
+	for len(s.seen) > sessDedupWindow {
+		s.cumAck++
+		delete(s.seen, s.cumAck)
+	}
+	return false
+}
+
+// sendAck transmits a pure cumulative ack back to the session's sender.
+func (s *session) sendAck() {
+	s.mu.Lock()
+	ack := s.cumAck
+	s.mu.Unlock()
+	s.net.transmitFrame(sessFrame{src: s.to, dst: s.from, kind: frameAck, ack: ack})
+}
+
+// handleAck discharges every pending frame covered by a cumulative ack and
+// resets the backoff once the retransmit queue is empty.
+func (s *session) handleAck(ack uint64) {
+	s.mu.Lock()
+	for seq := range s.pending {
+		if seq <= ack {
+			delete(s.pending, seq)
+		}
+	}
+	if len(s.pending) == 0 {
+		s.rto = 0
+	}
+	s.mu.Unlock()
+}
+
+// armTimer schedules the retransmit scan if frames are pending and no timer
+// is already armed.
+func (s *session) armTimer() {
+	s.mu.Lock()
+	if s.timerArmed || len(s.pending) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.timerArmed = true
+	if s.rto <= 0 {
+		s.rto = sessRetryBase
+	}
+	d := s.rto
+	s.mu.Unlock()
+	time.AfterFunc(d, s.retransmit)
+}
+
+// retransmit resends every still-pending frame, doubling the backoff up to
+// the cap and giving a frame up after sessRetries attempts. While the
+// destination is unreachable the frames are kept without burning attempts;
+// a topology heal kicks the session immediately.
+func (s *session) retransmit() {
+	reachable := true
+	if _, err := s.net.route(s.from, s.to); err != nil {
+		reachable = false
+	}
+	type resend struct {
+		seq uint64
+		pf  pendingFrame
+	}
+	var out []resend
+	s.mu.Lock()
+	s.timerArmed = false
+	if reachable {
+		for seq, pf := range s.pending {
+			pf.attempts++
+			if pf.attempts > sessRetries {
+				delete(s.pending, seq)
+				s.net.bump(&s.net.giveUps, s.net.cGiveUps)
+				continue
+			}
+			out = append(out, resend{seq, *pf})
+		}
+	}
+	s.rto *= 2
+	if s.rto > sessRetryMax {
+		s.rto = sessRetryMax
+	}
+	s.mu.Unlock()
+	for _, r := range out {
+		s.net.bump(&s.net.retransmits, s.net.cRetransmits)
+		s.net.transmitFrame(sessFrame{src: s.from, dst: s.to, kind: frameData,
+			seq: r.seq, payload: r.pf.payload, sum: r.pf.sum})
+	}
+	s.armTimer()
+}
+
+// kick resets the session's backoff and retransmits immediately; invoked on
+// topology change so queued frames cross a healed line without waiting out
+// the backoff.
+func (s *session) kick() {
+	s.mu.Lock()
+	s.rto = sessRetryBase
+	s.mu.Unlock()
+	go s.retransmit()
+}
+
+// kickSessions wakes every session after a topology change.
+func (n *Network) kickSessions() {
+	n.sessMu.Lock()
+	ss := make([]*session, 0, len(n.sessions))
+	for _, s := range n.sessions {
+		ss = append(ss, s)
+	}
+	n.sessMu.Unlock()
+	for _, s := range ss {
+		s.kick()
+	}
+}

@@ -1,0 +1,191 @@
+package expand
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+)
+
+func TestSetLinkFaultUnknownLink(t *testing.T) {
+	net, _ := newNet(t, "a", "b")
+	err := net.SetLinkFault("a", "b", FaultProfile{Loss: 0.5})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("fault on missing link: err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestSessionDeliversUnderLoss(t *testing.T) {
+	// 30% loss on the only line: every call must still complete via the
+	// session layer's retransmission, and the counters must show the work.
+	net, sys := newNet(t, "a", "b")
+	net.AddLink("a", "b")
+	if err := net.SetLinkFault("a", "b", FaultProfile{Loss: 0.3, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	spawnEcho(t, sys["b"], "echo")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 50; i++ {
+		if _, err := sys["a"].ClientCall(ctx, 0, msg.Addr{Node: "b", Name: "echo"}, "echo", testPayload{N: i}); err != nil {
+			t.Fatalf("call %d under loss: %v", i, err)
+		}
+	}
+	st := net.Stats()
+	if st.FramesLost == 0 {
+		t.Error("FramesLost = 0, want > 0 with 30% loss")
+	}
+	if st.Retransmits == 0 {
+		t.Error("Retransmits = 0, want > 0: lost frames must be retransmitted")
+	}
+	if st.GiveUps != 0 {
+		t.Errorf("GiveUps = %d, want 0 on a permanently-up line", st.GiveUps)
+	}
+}
+
+func TestSessionSuppressesDuplicates(t *testing.T) {
+	// Heavy duplication: the receiver must hand each message up exactly
+	// once. The echo's reply count equals the request count iff no
+	// duplicate request reached the server process twice (a duplicated
+	// request would produce an orphan reply and trip the msg layer).
+	net, sys := newNet(t, "a", "b")
+	net.AddLink("a", "b")
+	if err := net.SetLinkFault("a", "b", FaultProfile{Duplicate: 0.9, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(chan struct{}, 256)
+	if _, err := sys["b"].Spawn(0, "count", func(p *msg.Process) {
+		for {
+			m, err := p.Recv(context.Background())
+			if err != nil {
+				return
+			}
+			delivered <- struct{}{}
+			p.Reply(m, m.Payload)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const calls = 40
+	for i := 0; i < calls; i++ {
+		if _, err := sys["a"].ClientCall(ctx, 0, msg.Addr{Node: "b", Name: "count"}, "echo", testPayload{N: i}); err != nil {
+			t.Fatalf("call %d under duplication: %v", i, err)
+		}
+	}
+	// Give straggler duplicate frames time to arrive and be suppressed.
+	time.Sleep(50 * time.Millisecond)
+	if got := len(delivered); got != calls {
+		t.Errorf("server saw %d requests, want exactly %d", got, calls)
+	}
+	if st := net.Stats(); st.DupsDropped == 0 {
+		t.Error("DupsDropped = 0, want > 0 with 90% duplication")
+	}
+}
+
+func TestSessionRejectsCorruptFrames(t *testing.T) {
+	// Bit-flipped frames must be rejected by the checksum and recovered by
+	// retransmission — never delivered mangled, never a panic.
+	net, sys := newNet(t, "a", "b")
+	net.AddLink("a", "b")
+	if err := net.SetLinkFault("a", "b", FaultProfile{Corrupt: 0.4, Seed: 23}); err != nil {
+		t.Fatal(err)
+	}
+	spawnEcho(t, sys["b"], "echo")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 40; i++ {
+		r, err := sys["a"].ClientCall(ctx, 0, msg.Addr{Node: "b", Name: "echo"}, "echo", testPayload{N: i, S: "payload"})
+		if err != nil {
+			t.Fatalf("call %d under corruption: %v", i, err)
+		}
+		if got := r.Payload.(testPayload); got.N != i || got.S != "payload" {
+			t.Fatalf("call %d echoed %+v: corrupt frame delivered", i, got)
+		}
+	}
+	st := net.Stats()
+	if st.CorruptFrames == 0 {
+		t.Error("CorruptFrames = 0, want > 0 with 40% corruption")
+	}
+	if st.DecodeFailures != 0 {
+		t.Errorf("DecodeFailures = %d: a corrupt frame survived the checksum", st.DecodeFailures)
+	}
+}
+
+func TestSessionReorderAndChaosMix(t *testing.T) {
+	// The full chaos profile on one line; calls still complete.
+	net, sys := newNet(t, "a", "b")
+	net.AddLink("a", "b")
+	p := FaultProfile{Loss: 0.15, Duplicate: 0.1, Reorder: 0.4, Corrupt: 0.05,
+		JitterMax: 500 * time.Microsecond, Seed: 42}
+	if err := net.SetLinkFault("a", "b", p); err != nil {
+		t.Fatal(err)
+	}
+	spawnEcho(t, sys["b"], "echo")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 60; i++ {
+		if _, err := sys["a"].ClientCall(ctx, 0, msg.Addr{Node: "b", Name: "echo"}, "echo", testPayload{N: i}); err != nil {
+			t.Fatalf("call %d under chaos: %v", i, err)
+		}
+	}
+}
+
+func TestClearLinkFaultsRestoresDirectDelivery(t *testing.T) {
+	net, sys := newNet(t, "a", "b")
+	net.AddLink("a", "b")
+	if err := net.SetLinkFault("a", "b", FaultProfile{Loss: 0.5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	net.ClearLinkFaults()
+	spawnEcho(t, sys["b"], "echo")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	before := net.Stats().FramesLost
+	for i := 0; i < 20; i++ {
+		if _, err := sys["a"].ClientCall(ctx, 0, msg.Addr{Node: "b", Name: "echo"}, "echo", testPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := net.Stats().FramesLost; after != before {
+		t.Errorf("FramesLost grew %d→%d after ClearLinkFaults", before, after)
+	}
+}
+
+// TestDeliveryDroppedWhenLinkFailsInFlight pins the satellite fix: a frame
+// sent over a latency>0 line that fails before the delivery timer fires is
+// lost (and counted), not delivered over a dead line.
+func TestDeliveryDroppedWhenLinkFailsInFlight(t *testing.T) {
+	net := NewNetwork(20 * time.Millisecond)
+	nodeA, _ := hw.NewNode("a", 2)
+	nodeB, _ := hw.NewNode("b", 2)
+	sysA, sysB := msg.NewSystem(nodeA), msg.NewSystem(nodeB)
+	net.Attach(sysA)
+	net.Attach(sysB)
+	net.AddLink("a", "b")
+	spawnEcho(t, sysB, "echo")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := sysA.ClientCall(ctx, 0, msg.Addr{Node: "b", Name: "echo"}, "echo", testPayload{N: 1})
+		done <- err
+	}()
+	// Fail the line while the request frame is in flight.
+	time.Sleep(5 * time.Millisecond)
+	net.FailLink("a", "b")
+	if err := <-done; err == nil {
+		t.Fatal("call succeeded although the line failed mid-flight")
+	}
+	if st := net.Stats(); st.LinkDownDrops == 0 {
+		t.Error("LinkDownDrops = 0, want > 0: the in-flight frame must be counted as dropped")
+	}
+	if st := net.Stats(); st.Frames != 0 {
+		t.Errorf("Frames = %d, want 0: nothing should have been delivered", st.Frames)
+	}
+}

@@ -75,7 +75,7 @@ func (r *Report) String() string {
 func All() []*Report {
 	reports := []*Report{
 		F1(), F2(), F3(), F4(),
-		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(),
+		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(),
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
 	return reports
@@ -113,8 +113,10 @@ func Run(id string) ([]*Report, error) {
 		return []*Report{T8()}, nil
 	case "T9":
 		return []*Report{T9()}, nil
+	case "T10":
+		return []*Report{T10()}, nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T9, all)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T10, all)", id)
 	}
 }
 

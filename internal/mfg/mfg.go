@@ -87,9 +87,14 @@ type Stats struct {
 	DeferredQueued  uint64
 	DeferredApplied uint64
 	DeferredBlocked uint64 // drain attempts skipped for unreachable nodes
-	SyncUpdates     uint64
-	SyncUpdateFails uint64
-	LocalTxns       uint64
+	// DeferredRetries counts drains that re-attempted a target after its
+	// backoff expired; DeferredBackoffSkips counts targets skipped because
+	// they were still inside their backoff window.
+	DeferredRetries      uint64
+	DeferredBackoffSkips uint64
+	SyncUpdates          uint64
+	SyncUpdateFails      uint64
+	LocalTxns            uint64
 }
 
 // App is the running manufacturing application across the system.
@@ -99,6 +104,7 @@ type App struct {
 
 	stats struct {
 		masterUpdates, deferredQueued, deferredApplied, deferredBlocked atomic.Uint64
+		deferredRetries, deferredBackoffSkips                           atomic.Uint64
 		syncUpdates, syncFails, localTxns                               atomic.Uint64
 	}
 
@@ -152,7 +158,8 @@ func Install(sys *encompass.System, nodes []string, drainInterval time.Duration)
 		}
 	}
 	for _, name := range nodes {
-		m := &suspenseMonitor{app: a, node: sys.Node(name), interval: drainInterval, stop: make(chan struct{})}
+		m := &suspenseMonitor{app: a, node: sys.Node(name), interval: drainInterval,
+			stop: make(chan struct{}), backoff: make(map[string]*targetBackoff)}
 		a.monMu.Lock()
 		a.monitors = append(a.monitors, m)
 		a.monMu.Unlock()
@@ -173,13 +180,15 @@ func (a *App) Stop() {
 // Stats returns activity counters.
 func (a *App) Stats() Stats {
 	return Stats{
-		MasterUpdates:   a.stats.masterUpdates.Load(),
-		DeferredQueued:  a.stats.deferredQueued.Load(),
-		DeferredApplied: a.stats.deferredApplied.Load(),
-		DeferredBlocked: a.stats.deferredBlocked.Load(),
-		SyncUpdates:     a.stats.syncUpdates.Load(),
-		SyncUpdateFails: a.stats.syncFails.Load(),
-		LocalTxns:       a.stats.localTxns.Load(),
+		MasterUpdates:        a.stats.masterUpdates.Load(),
+		DeferredQueued:       a.stats.deferredQueued.Load(),
+		DeferredApplied:      a.stats.deferredApplied.Load(),
+		DeferredBlocked:      a.stats.deferredBlocked.Load(),
+		DeferredRetries:      a.stats.deferredRetries.Load(),
+		DeferredBackoffSkips: a.stats.deferredBackoffSkips.Load(),
+		SyncUpdates:          a.stats.syncUpdates.Load(),
+		SyncUpdateFails:      a.stats.syncFails.Load(),
+		LocalTxns:            a.stats.localTxns.Load(),
 	}
 }
 
@@ -418,14 +427,72 @@ func (a *App) WaitConverged(file, key string, timeout time.Duration) bool {
 	return false
 }
 
+// suspenseBackoffMax caps the per-target retry backoff of a suspense
+// monitor: a target that stays unreachable is probed no more often than
+// its backoff allows, and at least once a second.
+const suspenseBackoffMax = time.Second
+
+// targetBackoff is one target's retry state: don't re-attempt before
+// `until`; on the next failure the delay doubles up to suspenseBackoffMax.
+type targetBackoff struct {
+	until time.Time
+	delay time.Duration
+}
+
 // suspenseMonitor is the per-node "dedicated process called the 'suspense
-// monitor'" that scans the suspense file looking for work to do.
+// monitor'" that scans the suspense file looking for work to do. Targets
+// that fail (unreachable, or the apply call itself failed — e.g. timed out
+// on a lossy line) back off with a per-target capped exponential delay
+// rather than being re-hammered every tick.
 type suspenseMonitor struct {
 	app      *App
 	node     *encompass.Node
 	interval time.Duration
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	boMu    sync.Mutex
+	backoff map[string]*targetBackoff
+}
+
+// targetReady reports whether the target may be attempted now, and whether
+// doing so is a retry after an earlier failure.
+func (m *suspenseMonitor) targetReady(target string) (ready, isRetry bool) {
+	m.boMu.Lock()
+	defer m.boMu.Unlock()
+	b, ok := m.backoff[target]
+	if !ok {
+		return true, false
+	}
+	return !time.Now().Before(b.until), true
+}
+
+// noteFailure arms (or doubles) the target's backoff.
+func (m *suspenseMonitor) noteFailure(target string) {
+	m.boMu.Lock()
+	defer m.boMu.Unlock()
+	b, ok := m.backoff[target]
+	if !ok {
+		d := m.interval
+		if d <= 0 {
+			d = 20 * time.Millisecond
+		}
+		b = &targetBackoff{delay: d}
+		m.backoff[target] = b
+	} else {
+		b.delay *= 2
+		if b.delay > suspenseBackoffMax {
+			b.delay = suspenseBackoffMax
+		}
+	}
+	b.until = time.Now().Add(b.delay)
+}
+
+// noteSuccess clears the target's backoff.
+func (m *suspenseMonitor) noteSuccess(target string) {
+	m.boMu.Lock()
+	delete(m.backoff, target)
+	m.boMu.Unlock()
 }
 
 func (m *suspenseMonitor) run() {
@@ -453,6 +520,7 @@ func (m *suspenseMonitor) drain() {
 		return
 	}
 	blocked := make(map[string]bool)
+	retried := make(map[string]bool)
 	for _, rec := range recs {
 		target, file, key, val, err := decodeSuspense(rec.Val)
 		if err != nil {
@@ -461,9 +529,20 @@ func (m *suspenseMonitor) drain() {
 		if blocked[target] {
 			continue
 		}
+		ready, isRetry := m.targetReady(target)
+		if !ready {
+			blocked[target] = true
+			m.app.stats.deferredBackoffSkips.Add(1)
+			continue
+		}
+		if isRetry && !retried[target] {
+			retried[target] = true
+			m.app.stats.deferredRetries.Add(1)
+		}
 		if !m.app.sys.Network.Reachable(m.node.Name, target) {
 			blocked[target] = true
 			m.app.stats.deferredBlocked.Add(1)
+			m.noteFailure(target)
 			continue
 		}
 		// "The suspense monitor executes a TMF transaction which sends the
@@ -480,6 +559,7 @@ func (m *suspenseMonitor) drain() {
 			t.Abort("deferred apply failed")
 			blocked[target] = true
 			m.app.stats.deferredBlocked.Add(1)
+			m.noteFailure(target)
 			continue
 		}
 		if _, err := t.ReadLock(suspenseFile, rec.Key); err != nil {
@@ -493,6 +573,7 @@ func (m *suspenseMonitor) drain() {
 		if err := t.Commit(); err != nil {
 			continue
 		}
+		m.noteSuccess(target)
 		m.app.stats.deferredApplied.Add(1)
 	}
 }

@@ -264,3 +264,41 @@ func TestConvergenceUnderFlappingPartitions(t *testing.T) {
 		t.Errorf("neufahrn = %q, want %q", p, last)
 	}
 }
+
+// TestSuspenseMonitorBacksOff pins the bounded-retry behaviour: while a
+// target stays unreachable the monitor probes it on a capped exponential
+// backoff instead of re-hammering it every tick, and after the heal the
+// first successful retry clears the backoff and converges the replicas.
+func TestSuspenseMonitorBacksOff(t *testing.T) {
+	sys, app := buildMfg(t)
+	app.SeedItem("item-master", "bo-item", "cupertino", "v1")
+	sys.Partition("neufahrn")
+
+	if err := app.UpdateItem("cupertino", "item-master", "bo-item", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	// Let the monitor tick well past several backoff doublings. With a
+	// 10ms drain interval and no backoff it would probe ~50 times in
+	// 500ms; with doubling (10, 20, 40, ... capped at 1s) it must both
+	// skip probes (BackoffSkips) and still re-probe occasionally
+	// (Retries).
+	time.Sleep(500 * time.Millisecond)
+	st := app.Stats()
+	if st.DeferredBackoffSkips == 0 {
+		t.Error("DeferredBackoffSkips = 0: the monitor never backed off an unreachable target")
+	}
+	if st.DeferredRetries == 0 {
+		t.Error("DeferredRetries = 0: the monitor never re-probed after a backoff expired")
+	}
+	if st.DeferredBlocked >= 40 {
+		t.Errorf("DeferredBlocked = %d in 500ms at 10ms ticks: backoff is not throttling probes", st.DeferredBlocked)
+	}
+
+	sys.Heal()
+	if !app.WaitConverged("item-master", "bo-item", 10*time.Second) {
+		t.Fatal("bo-item did not converge after heal")
+	}
+	if _, p, _ := app.ReadItem("neufahrn", "item-master", "bo-item"); p != "v2" {
+		t.Errorf("neufahrn = %q, want v2", p)
+	}
+}

@@ -52,6 +52,44 @@ func FuzzUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzFrameBitFlip models the unreliable EXPAND line: it takes a valid
+// marshaled frame and flips arbitrary bits, asserting the decoder returns
+// an error (or a message) — never a panic. This is the exact corruption the
+// fault injector produces for frames that slip past the session checksum.
+func FuzzFrameBitFlip(f *testing.F) {
+	seeds := []Message{
+		{Kind: "tmp.phase1", Corr: 3, To: Addr{Node: "west", Name: "tmp"}},
+		{Kind: "op", Payload: fuzzPayload{A: "x", N: 41, B: []byte("abc")}},
+		{From: PID{Node: "east", CPU: 1, Seq: 5}, FromSys: "east", Kind: "reply", IsReply: true},
+	}
+	var frames [][]byte
+	for _, m := range seeds {
+		b, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		frames = append(frames, b)
+		f.Add(0, uint(0), uint64(1))
+	}
+	f.Add(1, uint(13), uint64(0x9E3779B97F4A7C15))
+	f.Add(2, uint(200), uint64(7))
+	f.Fuzz(func(t *testing.T, which int, nflips uint, seed uint64) {
+		base := frames[((which%len(frames))+len(frames))%len(frames)]
+		mut := append([]byte(nil), base...)
+		// Flip up to 64 bits at positions derived from a cheap LCG over the
+		// seed, so the mutation is reproducible from the fuzz inputs.
+		s := seed
+		for i := uint(0); i < nflips%64; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			bit := int(s % uint64(len(mut)*8))
+			mut[bit/8] ^= 1 << (bit % 8)
+		}
+		if _, err := Unmarshal(mut); err != nil {
+			return // rejected cleanly: the desired outcome for garbage
+		}
+	})
+}
+
 // FuzzMessageRoundTrip builds messages field by field and checks the
 // Marshal/Unmarshal round trip the EXPAND network relies on for value
 // semantics between nodes.

@@ -51,10 +51,18 @@ func Marshal(m Message) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Unmarshal decodes a wire frame produced by Marshal.
-func Unmarshal(b []byte) (Message, error) {
-	var m Message
-	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
+// Unmarshal decodes a wire frame produced by Marshal. Corrupted bytes
+// yield an error, never a panic: gob's decoder can panic on some mangled
+// inputs, and a bad frame off the wire must be rejectable by the network
+// layer rather than crash the node.
+func Unmarshal(b []byte) (m Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m = Message{}
+			err = fmt.Errorf("msg: unmarshal: panic decoding frame: %v", r)
+		}
+	}()
+	err = gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
 	return m, err
 }
 

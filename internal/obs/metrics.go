@@ -317,4 +317,17 @@ const (
 	MAuditForceRequests = "audit.force_requests"
 	MAuditForces        = "audit.forces"
 	MAuditForceLatency  = "audit.latency.force"
+
+	// Safe-delivery retry counter: messages re-sent from the TMF safe queue
+	// by the bounded-backoff retry loop or a topology-change flush.
+	MSafeRetries = "tmf.safe_retries"
+
+	// EXPAND unreliable-network counters (see expand.Network.SetObs).
+	MNetRetransmits    = "net.retransmits"
+	MNetDupsDropped    = "net.dups_dropped"
+	MNetFramesLost     = "net.frames_lost"
+	MNetCorruptFrames  = "net.corrupt_frames"
+	MNetLinkDownDrops  = "net.link_down_drops"
+	MNetDecodeFailures = "net.decode_failures"
+	MNetGiveUps        = "net.retransmit_give_ups"
 )

@@ -136,9 +136,13 @@ type Monitor struct {
 	transitions []Transition
 	violations  []Transition
 
-	// safe-delivery queue per destination node.
-	sqMu      sync.Mutex
-	safeQueue map[string][]safeMsg
+	// safe-delivery queue per destination node, with a self-arming
+	// bounded-backoff retry so queued messages don't wait for a topology
+	// event that may never come (e.g. a lossy-but-up link).
+	sqMu         sync.Mutex
+	safeQueue    map[string][]safeMsg
+	sqRetryArmed bool
+	sqRetryDelay time.Duration
 
 	// Observability: the registry is the single source of truth for
 	// activity counters (Stats is a thin alias view), the tracer captures
@@ -151,6 +155,7 @@ type Monitor struct {
 	// Pre-resolved metric handles (hot path: no map lookups per event).
 	cBegun, cCommitted, cAborted, cBackouts   *obs.Counter
 	cBroadcast, cUnreleased, cScanFails       *obs.Counter
+	cSafeRetries                              *obs.Counter
 	cStateViolations                          *obs.Counter
 	hBeginToEnded, hPhase1, hPhase2, hBackout *obs.Histogram
 
@@ -238,6 +243,7 @@ func New(cfg Config) (*Monitor, error) {
 		cBroadcast:       reg.Counter(obs.MBroadcasts),
 		cUnreleased:      reg.Counter(obs.MUnreleasedVolumes),
 		cScanFails:       reg.Counter(obs.MBackoutScanFailures),
+		cSafeRetries:     reg.Counter(obs.MSafeRetries),
 		cStateViolations: reg.Counter(obs.MStateViolations),
 		hBeginToEnded:    reg.Histogram(obs.MBeginToEnded),
 		hPhase1:          reg.Histogram(obs.MPhaseOne),
@@ -324,9 +330,25 @@ func (m *Monitor) Begin(cpu int) (txid.ID, error) {
 // It reports whether the transid was already known here — in which case
 // the sender is NOT this node's parent in the transmission tree and must
 // not treat it as a child for the commit protocol.
+//
+// The handler is idempotent under duplicate delivery, and the dedup is
+// source-aware: a retransmitted begin from the node already recorded as
+// our parent re-acks "not already known", because answering a duplicate
+// with alreadyKnown=true would make the parent drop us from its child
+// set — orphaning our applied updates from the commit protocol. Only a
+// begin from a *different* node reports the transid as known. A late
+// duplicate arriving after the transaction resolved and was forgotten is
+// acknowledged without resurrecting a control block.
 func (m *Monitor) beginRemote(id txid.ID, source string) (alreadyKnown bool) {
 	m.mu.Lock()
-	if _, ok := m.txs[id]; ok {
+	if t, ok := m.txs[id]; ok {
+		dupFromParent := !t.isHome && t.source == source
+		m.mu.Unlock()
+		return !dupFromParent
+	}
+	if _, resolved := m.mat.OutcomeOf(id); resolved {
+		// The transid already ran to completion here (then left the
+		// system); a stale retransmitted begin must not bring it back.
 		m.mu.Unlock()
 		return true
 	}

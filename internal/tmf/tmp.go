@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"encompass/internal/audit"
 	"encompass/internal/hw"
 	"encompass/internal/msg"
 	"encompass/internal/obs"
@@ -180,15 +181,43 @@ func (m *Monitor) NoteRemoteSend(tx txid.ID, destNode string) error {
 // the transid to us: refuse if we already aborted unilaterally; otherwise
 // enter "ending", force our trails, recurse to our children, and mark the
 // affirmative reply (after which we can no longer abort unilaterally).
+//
+// The handler is idempotent under duplicate and reordered delivery: a
+// repeat of an already-acknowledged phase one re-acks without redoing the
+// forces, and a straggler arriving after the outcome re-sends the outcome
+// (affirmative for ENDED, ErrAborted for an abort) instead of corrupting
+// state.
 func (m *Monitor) phase1Inbound(tx txid.ID) error {
 	t, err := m.lockProto(tx)
 	if err != nil {
+		// A straggler phase one can arrive after the transaction resolved
+		// and left the system (Forget). The Monitor Audit Trail still knows
+		// the disposition: re-send it instead of erroring.
+		if o, ok := m.mat.OutcomeOf(tx); ok {
+			if o == audit.OutcomeCommitted {
+				return nil
+			}
+			return fmt.Errorf("%w: %s previously aborted on %s", ErrAborted, tx, m.node)
+		}
 		return err
 	}
 	defer t.protoMu.Unlock()
 	st := m.State(tx)
 	if st == txid.StateAborting || st == txid.StateAborted {
 		return fmt.Errorf("%w: %s previously aborted on %s", ErrAborted, tx, m.node)
+	}
+	if st == txid.StateEnded {
+		// Duplicate phase one after the commit outcome already applied
+		// here: the trails were forced long ago; re-ack affirmatively.
+		return nil
+	}
+	m.mu.Lock()
+	acked := t.phase1Acked
+	m.mu.Unlock()
+	if acked {
+		// Duplicated or retransmitted phase one: the first copy did the
+		// work and we are already bound by our affirmative vote.
+		return nil
 	}
 	m.closeToNewWork(tx)
 	if st == txid.StateActive {
@@ -246,11 +275,50 @@ func (m *Monitor) safeDeliver(sm safeMsg) {
 		m.sqMu.Lock()
 		m.safeQueue[sm.dest] = append(m.safeQueue[sm.dest], sm)
 		m.sqMu.Unlock()
+		m.scheduleSafeRetry()
 	}
 }
 
+// Safe-queue retry pacing: delivery "whenever transmission becomes
+// possible" must not depend solely on a topology-change callback — on a
+// lossy-but-up line a safe-delivery call can time out with no topology
+// event ever firing. The queue therefore retries itself with exponential
+// backoff, reset whenever it fully drains.
+const (
+	safeRetryBase = 25 * time.Millisecond
+	safeRetryMax  = 2 * time.Second
+)
+
+// scheduleSafeRetry arms (at most one) delayed retry of the safe queue,
+// doubling the delay up to the cap while the queue stays non-empty.
+func (m *Monitor) scheduleSafeRetry() {
+	m.sqMu.Lock()
+	if m.sqRetryArmed || len(m.safeQueue) == 0 {
+		m.sqMu.Unlock()
+		return
+	}
+	m.sqRetryArmed = true
+	if m.sqRetryDelay <= 0 {
+		m.sqRetryDelay = safeRetryBase
+	}
+	d := m.sqRetryDelay
+	m.sqRetryDelay *= 2
+	if m.sqRetryDelay > safeRetryMax {
+		m.sqRetryDelay = safeRetryMax
+	}
+	m.sqMu.Unlock()
+	time.AfterFunc(d, func() {
+		m.sqMu.Lock()
+		m.sqRetryArmed = false
+		m.sqMu.Unlock()
+		m.FlushSafeQueue()
+	})
+}
+
 // FlushSafeQueue retries queued safe-delivery messages; invoked on
-// topology change and callable directly (tests, tmfctl).
+// topology change, by the backoff retry loop, and callable directly
+// (tests, tmfctl). Messages that fail again re-queue and re-arm the
+// backoff; a full drain resets it.
 func (m *Monitor) FlushSafeQueue() {
 	m.sqMu.Lock()
 	queued := m.safeQueue
@@ -258,9 +326,15 @@ func (m *Monitor) FlushSafeQueue() {
 	m.sqMu.Unlock()
 	for _, q := range queued {
 		for _, sm := range q {
+			m.cSafeRetries.Inc()
 			m.safeDeliver(sm)
 		}
 	}
+	m.sqMu.Lock()
+	if len(m.safeQueue) == 0 {
+		m.sqRetryDelay = 0
+	}
+	m.sqMu.Unlock()
 }
 
 // onTopologyChange reacts to partitions and heals: queued safe-delivery
