@@ -1,11 +1,12 @@
 # Development targets. `make check` is the gate used before merging: the
 # tier-1 suite plus vet, the race-detector runs over the concurrency-
-# heavy packages (commit fan-out, group commit, process pairs), and a
-# bounded fuzz smoke over the wire-format round-trips.
+# heavy packages (commit fan-out, group commit, the multithreaded
+# DISCPROCESS scheduler, process pairs), the DiscWorkers determinism
+# oracle, and a bounded fuzz smoke over the wire-format round-trips.
 
 GO ?= go
 
-.PHONY: all build test check race fuzz chaos-short bench experiments
+.PHONY: all build test check race fuzz chaos-short stress-short bench bench-json experiments
 
 all: check
 
@@ -16,12 +17,13 @@ test: build
 	$(GO) test ./...
 
 # Race-detector runs over the packages with real concurrency: the TMF
-# commit/abort fan-out, the audit trail's group commit, the DISCPROCESS
-# handlers that reply asynchronously, the observability layer they all
-# record into, and the trace-oracle chaos test (the long soak stays
-# race-free via the package run above, but is too slow under -race).
+# commit/abort fan-out, the audit trail's group commit, the striped lock
+# manager, the DISCPROCESS scheduler and its handlers, the observability
+# layer they all record into, and the trace-oracle chaos test (the long
+# soak stays race-free via the package run above, but is too slow under
+# -race).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/discproc/... ./internal/workload/...
+	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/...
 	$(GO) test -race -run TestChaosTraceOracle .
 
 # Fuzz smoke: a few seconds per target over the transid and message
@@ -39,15 +41,29 @@ fuzz:
 chaos-short:
 	$(GO) test -race -short -run TestChaosLossyLink -count=1 .
 
+# Short, race-enabled run of the DiscWorkers determinism oracle: the same
+# conflicting/non-conflicting mix at DiscWorkers=8 must leave volume
+# contents byte-identical to the DiscWorkers=1 serial run, with every
+# trace passing the Figure 3 oracle.
+stress-short:
+	$(GO) test -race -short -run TestDiscWorkersStressOracle -count=1 .
+
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) race
 	$(MAKE) fuzz
 	$(MAKE) chaos-short
+	$(MAKE) stress-short
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable benchmark snapshot: the perf experiments (commit
+# fan-out + group commit, lossy-line convergence, multithreaded
+# DISCPROCESS ablation) as one JSON document. Schema in EXPERIMENTS.md.
+bench-json:
+	$(GO) run ./cmd/tmfbench -exp T9,T10,T11 -json -out BENCH_PR4.json
 
 experiments:
 	$(GO) run ./cmd/tmfbench -exp all

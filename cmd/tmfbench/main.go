@@ -6,15 +6,24 @@
 // Usage:
 //
 //	tmfbench -exp all      # every experiment (default)
-//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T10 (claims)
+//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T11 (claims)
+//	tmfbench -exp T9,T10,T11                        # a comma-separated subset
 //	tmfbench -list         # list experiments
 //	tmfbench -exp T9 -fanout 4 -batchwindow 200us   # tune T9's knobs
 //	tmfbench -exp T10 -loss 0.2 -dup 0.1            # tune T10's fault profile
+//	tmfbench -exp T11 -discworkers 16               # tune T11's worker depth
+//	tmfbench -exp T9,T10,T11 -json -out BENCH.json  # machine-readable output
+//
+// With -json the reports are written as a single JSON document (schema in
+// EXPERIMENTS.md) instead of text tables; -out redirects either format to
+// a file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"encompass/internal/experiments"
@@ -35,20 +44,33 @@ var descriptions = []struct{ id, title string }{
 	{"T8", "availability through processor failure: NonStop vs conventional restart"},
 	{"T9", "parallel commit fan-out and audit group commit"},
 	{"T10", "suspense convergence over flaky lines (lossy partition heal)"},
+	{"T11", "multithreaded DISCPROCESS: conflict-aware intra-volume parallelism"},
+}
+
+// jsonDoc is the envelope written by -json; see EXPERIMENTS.md for the
+// field-by-field schema.
+type jsonDoc struct {
+	Tool        string                `json:"tool"`
+	Experiments []*experiments.Report `json:"experiments"`
+	Failed      int                   `json:"failed"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: F1-F4, T1-T10, or all")
+	exp := flag.String("exp", "all", "experiments to run: F1-F4, T1-T11, a comma-separated list, or all")
 	list := flag.Bool("list", false, "list experiments and exit")
+	asJSON := flag.Bool("json", false, "emit one JSON document instead of text tables (schema in EXPERIMENTS.md)")
+	out := flag.String("out", "", "write output to this file instead of stdout")
 	fanout := flag.Int("fanout", 0, "T9: bound on concurrent commit protocol calls (0 = one goroutine per participant)")
 	batchWindow := flag.Duration("batchwindow", 0, "T9: group-commit coalescing window (0 = write immediately)")
 	loss := flag.Float64("loss", experiments.T10Loss, "T10: per-frame loss probability on every line")
 	dup := flag.Float64("dup", experiments.T10Dup, "T10: per-frame duplication probability on every line")
+	discWorkers := flag.Int("discworkers", 0, "T11: DISCPROCESS worker-pool depth for the parallel runs (0 = the default depth)")
 	flag.Parse()
 	experiments.T9Fanout = *fanout
 	experiments.T9BatchWindow = *batchWindow
 	experiments.T10Loss = *loss
 	experiments.T10Dup = *dup
+	experiments.T11Workers = *discWorkers
 
 	if *list {
 		for _, d := range descriptions {
@@ -64,9 +86,31 @@ func main() {
 	}
 	failed := 0
 	for _, r := range reports {
-		fmt.Println(r.String())
 		if !r.Pass {
 			failed++
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDoc{Tool: "tmfbench", Experiments: reports, Failed: failed}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, r := range reports {
+			fmt.Fprintln(w, r.String())
 		}
 	}
 	if failed > 0 {

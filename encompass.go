@@ -86,6 +86,11 @@ type Config struct {
 	// undo sends). 0 = one goroutine per participant (the default,
 	// fastest); 1 = the sequential seed behaviour, kept for ablation.
 	CommitFanout int
+	// DiscWorkers bounds each DISCPROCESS's conflict-aware worker pool:
+	// non-conflicting operations on a volume run concurrently up to this
+	// depth. 0 = discproc.DefaultDiscWorkers (the default); 1 = the
+	// single-threaded seed behaviour, kept for ablation.
+	DiscWorkers int
 	// AuditBatchWindow is an optional group-commit coalescing window: a
 	// trail force leader waits this long before writing so more
 	// concurrent committers join the batch. 0 writes immediately.
@@ -253,6 +258,8 @@ func buildNode(net *expand.Network, ns NodeSpec, cfg Config) (*Node, error) {
 			MissPenalty:      vs.MissPenalty,
 			ForceEveryUpdate: vs.ForceEveryUpdate,
 			Obs:              tracer,
+			DiscWorkers:      cfg.DiscWorkers,
+			Registry:         reg,
 		})
 		if err != nil {
 			return nil, err

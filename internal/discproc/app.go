@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 	"time"
 
 	"encompass/internal/audit"
@@ -67,20 +68,32 @@ type resumeNote struct {
 	err   error
 }
 
-// app is the per-member DISCPROCESS state machine.
+// app is the per-member DISCPROCESS state machine. With DiscWorkers > 1 a
+// conflict-aware scheduler (sched.go) dispatches non-conflicting requests
+// concurrently, so the shared transaction-tracking maps are guarded by
+// small mutexes; the file structures, record cache, lock manager, volume
+// and audit client are all internally synchronized. The file table and ACL
+// maps need no lock: only volume-wide operations mutate them, and those
+// are admitted alone (after browses drain).
 type app struct {
 	proc  *Proc
+	sched *scheduler // nil in serial (DiscWorkers = 1) mode
 	files map[string]*dbfile.File
 	locks *lock.Manager
 	cache *dbfile.Cache
 
+	// stateMu guards participated and endedSet (written by concurrent
+	// workers via participate/markEnded).
+	stateMu sync.Mutex
 	// participated tracks transactions already reported to TMF.
 	participated map[txid.ID]bool
-
 	// endedSet remembers recently ended transactions so straggler
 	// operations are rejected rather than re-acquiring locks post-release.
 	endedSet map[txid.ID]bool
 
+	// pendMu guards pending and nextToken (workers park, the member
+	// goroutine resumes).
+	pendMu sync.Mutex
 	// pending parks lock-waiting requests by token.
 	pending   map[uint64]*pendingOp
 	nextToken uint64
@@ -96,7 +109,7 @@ type app struct {
 }
 
 func newApp(pr *Proc) *app {
-	return &app{
+	a := &app{
 		proc:         pr,
 		files:        make(map[string]*dbfile.File),
 		locks:        lock.NewManager(),
@@ -106,9 +119,26 @@ func newApp(pr *Proc) *app {
 		pending:      make(map[uint64]*pendingOp),
 		acl:          make(map[string]map[string]bool),
 	}
+	if w := resolveWorkers(pr.cfg.DiscWorkers); w > 1 {
+		a.sched = newScheduler(a, w)
+	}
+	return a
 }
 
-// Handle dispatches one client request on the primary.
+// resolveWorkers maps Config.DiscWorkers onto a pool depth: 0 (and any
+// negative value) selects the parallel default, 1 the serial seed mode.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return DefaultDiscWorkers
+	}
+	return n
+}
+
+// Handle accepts one client request on the primary. In serial mode it
+// dispatches inline on the member goroutine (the seed behaviour). With the
+// scheduler enabled, browse requests fork onto their own goroutine (the
+// lock-free fast path) and everything else is queued for conflict-aware
+// admission onto the worker pool.
 func (a *app) Handle(ctx *pair.Ctx, m msg.Message) {
 	a.proc.primApp.Store(a)
 	a.proc.ops.Add(1)
@@ -116,7 +146,20 @@ func (a *app) Handle(ctx *pair.Ctx, m msg.Message) {
 		a.handleResume(ctx, m)
 		return
 	}
-	a.dispatch(ctx, m)
+	if a.sched == nil {
+		a.dispatch(ctx, m)
+		return
+	}
+	fp, browse := classify(m)
+	if browse {
+		a.sched.startBrowse()
+		go func() {
+			defer a.sched.endBrowse()
+			a.dispatch(ctx, m)
+		}()
+		return
+	}
+	a.sched.enqueue(ctx, m, fp)
 }
 
 func (a *app) dispatch(ctx *pair.Ctx, m msg.Message) {
@@ -171,9 +214,11 @@ func (a *app) ensureLock(ctx *pair.Ctx, m msg.Message, tx txid.ID, key lock.Key,
 	if timeout <= 0 {
 		timeout = DefaultLockTimeout
 	}
+	a.pendMu.Lock()
 	a.nextToken++
 	token := a.nextToken
 	a.pending[token] = &pendingOp{req: m}
+	a.pendMu.Unlock()
 	proc := ctx.Proc()
 	self := msg.Addr{Name: proc.Name()}
 	a.locks.Acquire(tx, key, timeout, func(err error) {
@@ -186,11 +231,15 @@ func (a *app) ensureLock(ctx *pair.Ctx, m msg.Message, tx txid.ID, key lock.Key,
 
 func (a *app) handleResume(ctx *pair.Ctx, m msg.Message) {
 	note := m.Payload.(resumeNote)
+	a.pendMu.Lock()
 	po, ok := a.pending[note.token]
+	if ok {
+		delete(a.pending, note.token)
+	}
+	a.pendMu.Unlock()
 	if !ok {
 		return
 	}
-	delete(a.pending, note.token)
 	orig := po.req
 	origCtx := pair.NewCtx(ctx, orig)
 	if note.err != nil {
@@ -200,7 +249,16 @@ func (a *app) handleResume(ctx *pair.Ctx, m msg.Message) {
 		return
 	}
 	// Lock granted: re-dispatch the original request; the held lock makes
-	// the retry take the inline path.
+	// the retry take the inline path. A parked request released its
+	// scheduler footprint when it parked, so it goes back through
+	// conflict-aware admission rather than straight to a worker.
+	if a.sched != nil {
+		fp, browse := classify(orig)
+		if !browse {
+			a.sched.enqueue(ctx, orig, fp)
+			return
+		}
+	}
 	a.dispatch(origCtx, orig)
 }
 
@@ -251,7 +309,9 @@ func (a *app) participate(tx txid.ID) error {
 			return err
 		}
 	}
+	a.stateMu.Lock()
 	a.participated[tx] = true
+	a.stateMu.Unlock()
 	return nil
 }
 
@@ -326,9 +386,13 @@ func (a *app) reloadFromVolume() error {
 	a.files = make(map[string]*dbfile.File)
 	a.cache = dbfile.NewCache(a.proc.cfg.CacheSize)
 	a.locks = lock.NewManager()
+	a.stateMu.Lock()
 	a.participated = make(map[txid.ID]bool)
 	a.endedSet = make(map[txid.ID]bool)
+	a.stateMu.Unlock()
+	a.pendMu.Lock()
 	a.pending = make(map[uint64]*pendingOp)
+	a.pendMu.Unlock()
 	v := a.proc.cfg.Volume
 	for _, name := range v.Keys(metaFile) {
 		raw, err := v.Read(metaFile, name)
@@ -405,7 +469,9 @@ func (a *app) ApplyCheckpoint(cp any) {
 	if ck.EndTx {
 		a.markEnded(ck.Tx)
 		a.locks.ReleaseAll(ck.Tx)
+		a.stateMu.Lock()
 		delete(a.participated, ck.Tx)
+		a.stateMu.Unlock()
 		a.lastCk = nil
 		return
 	}
@@ -413,22 +479,33 @@ func (a *app) ApplyCheckpoint(cp any) {
 		a.locks.Acquire(ck.Tx, k, time.Nanosecond, func(error) {})
 	}
 	if !ck.Tx.IsZero() {
+		a.stateMu.Lock()
 		a.participated[ck.Tx] = true
+		a.stateMu.Unlock()
 	}
 	a.applyOp(ck.Op)
 	a.lastCk = &ck
 }
 
-// Snapshot captures full state for seeding a fresh backup.
+// Snapshot captures full state for seeding a fresh backup. It runs on the
+// member goroutine while workers may be mid-operation, so the scheduler is
+// quiesced first: admission pauses and in-flight work (scheduled and
+// browse) drains, making the copied cut consistent.
 func (a *app) Snapshot() any {
-	snap := &snapshot{
-		locks:        a.locks.Snapshot(),
-		participated: make(map[txid.ID]bool, len(a.participated)),
-		files:        make(map[string]fileSnap, len(a.files)),
+	if a.sched != nil {
+		resume := a.sched.quiesce()
+		defer resume()
 	}
+	snap := &snapshot{
+		locks: a.locks.Snapshot(),
+		files: make(map[string]fileSnap, len(a.files)),
+	}
+	a.stateMu.Lock()
+	snap.participated = make(map[txid.ID]bool, len(a.participated))
 	for tx := range a.participated {
 		snap.participated[tx] = true
 	}
+	a.stateMu.Unlock()
 	for name, f := range a.files {
 		recs := f.ReadRange("", "", 0)
 		snap.files[name] = fileSnap{org: f.Org(), altKeys: f.AltKeys(), recs: recs}

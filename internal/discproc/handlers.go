@@ -333,8 +333,18 @@ func (a *app) handleAppend(ctx *pair.Ctx, m msg.Message) {
 		return
 	}
 	lk := lock.Key{File: req.File, Record: key}
-	// Appends never conflict (fresh key), take the lock synchronously.
-	a.locks.Acquire(req.Tx, lk, DefaultLockTimeout, func(error) {})
+	// The fresh key is normally free, so the lock is taken inline and the
+	// append proceeds without giving up its scheduler footprint. Under the
+	// lock manager's FIFO fairness the grant can still be refused — an
+	// earlier file-lock waiter is queued, or the file lock is held — in
+	// which case the append parks like any other lock wait. (The seed
+	// ignored the acquire outcome here and hard-coded DefaultLockTimeout,
+	// silently writing an unlocked record whenever the acquire queued.)
+	if !a.locks.TryAcquire(req.Tx, lk) {
+		if !a.ensureLock(ctx, m, req.Tx, lk, req.LockTimeout) {
+			return
+		}
+	}
 	ck := &ckRecord{
 		Op:    &ckOp{Kind: opWrite, File: req.File, Key: key, Val: req.Val},
 		Tx:    req.Tx,
@@ -385,7 +395,9 @@ func (a *app) handleEndTx(ctx *pair.Ctx, m msg.Message) {
 	a.markEnded(req.Tx)
 	ctx.Checkpoint(ckRecord{Tx: req.Tx, EndTx: true})
 	a.locks.ReleaseAll(req.Tx)
+	a.stateMu.Lock()
 	delete(a.participated, req.Tx)
+	a.stateMu.Unlock()
 	ctx.Reply(nil)
 }
 
@@ -467,10 +479,16 @@ func (a *app) handleFlush(ctx *pair.Ctx, m msg.Message) {
 const endedCap = 4096
 
 func (a *app) markEnded(tx txid.ID) {
+	a.stateMu.Lock()
 	if len(a.endedSet) >= endedCap {
 		a.endedSet = make(map[txid.ID]bool, endedCap)
 	}
 	a.endedSet[tx] = true
+	a.stateMu.Unlock()
 }
 
-func (a *app) ended(tx txid.ID) bool { return a.endedSet[tx] }
+func (a *app) ended(tx txid.ID) bool {
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	return a.endedSet[tx]
+}

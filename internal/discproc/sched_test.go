@@ -1,0 +1,291 @@
+package discproc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"encompass/internal/audit"
+	"encompass/internal/dbfile"
+	"encompass/internal/disk"
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/obs"
+	"encompass/internal/txid"
+)
+
+// newEnvWorkers builds an env with an explicit worker-pool depth.
+func newEnvWorkers(t *testing.T, cpus int, audited bool, workers int) *env {
+	t.Helper()
+	node, err := hw.NewNode("n", cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := msg.NewSystem(node)
+	e := &env{sys: sys, vol: disk.NewVolume("v1"), participants: make(map[txid.ID][]string)}
+	cfg := Config{
+		Volume:      e.vol,
+		CacheSize:   64,
+		DiscWorkers: workers,
+		OnParticipate: func(tx txid.ID, vol string) error {
+			e.mu.Lock()
+			e.participants[tx] = append(e.participants[tx], vol)
+			e.mu.Unlock()
+			return nil
+		},
+	}
+	if audited {
+		e.trail = audit.NewTrail("a1", 0)
+		if _, err := audit.StartProcess(sys, "audit-1", 0, 1, e.trail); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Audit = audit.NewClient(sys, "audit-1")
+	}
+	e.proc, err = Start(sys, "disc-v1", 0, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func newBareScheduler() *scheduler {
+	s := &scheduler{workers: 4, fileStalls: make(map[string]*obs.Counter)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// TestSchedulerAdmissionInvariant is the in-flight footprint property test:
+// over random queues of classified footprints and random completion
+// orders, pickLocked never admits a job whose footprint overlaps an
+// in-flight one, admits conflicting jobs in arrival order, and wide jobs
+// run alone.
+func TestSchedulerAdmissionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	files := []string{"f", "g"}
+	keys := []string{"", "k1", "k2", "k3"}
+	for round := 0; round < 300; round++ {
+		sched := newBareScheduler()
+		var arrivals []*job
+		n := 2 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			var fp footprint
+			if rng.Intn(10) == 0 {
+				fp = footprint{wide: true}
+			} else {
+				fp = footprint{file: files[rng.Intn(len(files))], key: keys[rng.Intn(len(keys))]}
+			}
+			j := &job{fp: fp, enqueued: time.Now()}
+			arrivals = append(arrivals, j)
+			sched.queue = append(sched.queue, j)
+		}
+		pos := func(j *job) int {
+			for i, a := range arrivals {
+				if a == j {
+					return i
+				}
+			}
+			return -1
+		}
+		admitted := make(map[*job]bool)
+		for len(sched.queue) > 0 || len(sched.inflight) > 0 {
+			j := sched.pickLocked()
+			if j != nil {
+				admitted[j] = true
+				// Invariant 1: no overlap with other in-flight jobs.
+				for _, f := range sched.inflight {
+					if f != j && j.fp.overlaps(f.fp) {
+						t.Fatalf("round %d: admitted %+v overlapping in-flight %+v", round, j.fp, f.fp)
+					}
+				}
+				// Invariant 2: wide jobs run alone.
+				if j.fp.wide && len(sched.inflight) != 1 {
+					t.Fatalf("round %d: wide job admitted with %d in flight", round, len(sched.inflight))
+				}
+				// Invariant 3: FIFO per conflict class — every earlier
+				// arrival that conflicts with j was admitted before j.
+				for _, e := range arrivals {
+					if pos(e) < pos(j) && e.fp.overlaps(j.fp) && !admitted[e] {
+						t.Fatalf("round %d: %+v admitted before earlier conflicting %+v", round, j.fp, e.fp)
+					}
+				}
+				if len(sched.inflight) < sched.workers && rng.Intn(2) == 0 {
+					continue // try to admit more before completing anything
+				}
+			}
+			if len(sched.inflight) > 0 {
+				v := sched.inflight[rng.Intn(len(sched.inflight))]
+				sched.inflight = remove(sched.inflight, v)
+			} else if j == nil {
+				t.Fatalf("round %d: scheduler stuck with %d queued", round, len(sched.queue))
+			}
+		}
+		if sched.stats.Violations != 0 {
+			t.Fatalf("round %d: %d in-flight footprint violations", round, sched.stats.Violations)
+		}
+	}
+}
+
+// TestConflictingOpsNeverConcurrent drives mixed conflicting and
+// non-conflicting operations through a DiscWorkers=8 process and asserts
+// the scheduler's own in-flight footprint assertion stayed at zero while
+// real parallel admission happened.
+func TestConflictingOpsNeverConcurrent(t *testing.T) {
+	e := newEnvWorkers(t, 4, true, 8)
+	e.create(t, "f", dbfile.KeySequenced)
+	const keys = 8
+	for k := 0; k < keys; k++ {
+		id := tx(uint64(1000 + k))
+		e.mustCall(t, KindInsert, WriteReq{Tx: id, File: "f", Key: kname(k), Val: []byte("0")})
+		e.mustCall(t, KindEndTx, EndTxReq{Tx: id})
+	}
+	const workers = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters*3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := tx(uint64(1 + w*iters + i))
+				key := kname((w + i) % keys) // overlapping key sets conflict across goroutines
+				if _, err := e.call(t, KindRead, ReadReq{Tx: id, File: "f", Key: key, WithLock: true, LockTimeout: 2 * time.Second}); err != nil {
+					// Lock timeouts under contention are legal (deadlock
+					// prevention by timeout); the transaction just ends.
+					if _, err := e.call(t, KindEndTx, EndTxReq{Tx: id}); err != nil {
+						errs <- fmt.Errorf("endtx after timeout: %w", err)
+					}
+					continue
+				}
+				if _, err := e.call(t, KindUpdate, WriteReq{Tx: id, File: "f", Key: key, Val: []byte(fmt.Sprintf("w%di%d", w, i))}); err != nil {
+					errs <- fmt.Errorf("update: %w", err)
+				}
+				// Browse traffic rides alongside the write pipeline.
+				if _, err := e.call(t, KindReadRange, ReadRangeReq{File: "f", Limit: 4}); err != nil {
+					errs <- fmt.Errorf("readrange: %w", err)
+				}
+				if _, err := e.call(t, KindEndTx, EndTxReq{Tx: id}); err != nil {
+					errs <- fmt.Errorf("endtx: %w", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := e.proc.Stats()
+	if st.Sched.Violations != 0 {
+		t.Fatalf("in-flight footprint violations = %d, want 0", st.Sched.Violations)
+	}
+	if st.Sched.Admitted == 0 || st.Sched.BrowseOps == 0 {
+		t.Fatalf("scheduler idle? stats = %+v", st.Sched)
+	}
+	if st.Sched.Workers != 8 {
+		t.Fatalf("Workers = %d, want 8", st.Sched.Workers)
+	}
+}
+
+func kname(k int) string { return fmt.Sprintf("k%03d", k) }
+
+// TestBrowseCompletesWhileFileLockHeld pins the browse fast path's defining
+// property (and the DefaultLockTimeout bugfix): range scans, alternate-key
+// reads and unlocked reads never park on the lock manager, so they complete
+// while another transaction holds the file lock.
+func TestBrowseCompletesWhileFileLockHeld(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			e := newEnvWorkers(t, 4, true, workers)
+			e.create(t, "f", dbfile.KeySequenced, dbfile.AltKeyDef{Name: "grp", Offset: 0, Len: 1})
+			seed := tx(500)
+			e.mustCall(t, KindInsert, WriteReq{Tx: seed, File: "f", Key: "k1", Val: []byte("a1")})
+			e.mustCall(t, KindInsert, WriteReq{Tx: seed, File: "f", Key: "k2", Val: []byte("b2")})
+			e.mustCall(t, KindEndTx, EndTxReq{Tx: seed})
+
+			holder := tx(501)
+			e.mustCall(t, KindLockFile, LockReq{Tx: holder, File: "f"})
+
+			waitsBefore := e.proc.Stats().LockStats.Waits
+			done := make(chan error, 3)
+			go func() {
+				_, err := e.call(t, KindReadRange, ReadRangeReq{File: "f", Limit: 10})
+				done <- err
+			}()
+			go func() {
+				_, err := e.call(t, KindReadAlt, ReadAltReq{File: "f", AltKey: "grp", Value: "a"})
+				done <- err
+			}()
+			go func() {
+				_, err := e.call(t, KindRead, ReadReq{File: "f", Key: "k1"}) // unlocked
+				done <- err
+			}()
+			for i := 0; i < 3; i++ {
+				select {
+				case err := <-done:
+					if err != nil {
+						t.Fatalf("browse under file lock: %v", err)
+					}
+				case <-time.After(2 * time.Second):
+					t.Fatal("browse request blocked behind a held file lock")
+				}
+			}
+			if waits := e.proc.Stats().LockStats.Waits; waits != waitsBefore {
+				t.Fatalf("browse requests parked on the lock manager (%d new waits)", waits-waitsBefore)
+			}
+			// The file lock is still held; a locked read must still wait.
+			_, err := e.call(t, KindRead, ReadReq{Tx: tx(502), File: "f", Key: "k1", WithLock: true, LockTimeout: 30 * time.Millisecond})
+			if err == nil || !strings.Contains(err.Error(), "timed out") {
+				t.Fatalf("locked read under file lock: err = %v, want timeout", err)
+			}
+			e.mustCall(t, KindEndTx, EndTxReq{Tx: holder})
+		})
+	}
+}
+
+// TestAppendParksBehindFileLock is the regression for the silent unlocked
+// append: with another transaction holding the file lock, an append must
+// park (and time out under its own LockTimeout) instead of ignoring the
+// refused grant and writing anyway — which is what the seed did.
+func TestAppendParksBehindFileLock(t *testing.T) {
+	e := newEnvWorkers(t, 4, true, 8)
+	e.create(t, "h", dbfile.EntrySequenced)
+	holder := tx(600)
+	e.mustCall(t, KindLockFile, LockReq{Tx: holder, File: "h"})
+
+	_, err := e.call(t, KindAppend, AppendReq{Tx: tx(601), File: "h", Val: []byte("x"), LockTimeout: 50 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("append under foreign file lock: err = %v, want lock timeout", err)
+	}
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: holder})
+	// No record may have been written by the refused append.
+	r := e.mustCall(t, KindReadRange, ReadRangeReq{File: "h", Limit: 10})
+	if recs := r.Payload.(ReadRangeResp).Recs; len(recs) != 0 {
+		t.Fatalf("refused append left %d records behind", len(recs))
+	}
+	// With the lock released, appends proceed again.
+	e.mustCall(t, KindAppend, AppendReq{Tx: tx(602), File: "h", Val: []byte("y")})
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: tx(602)})
+}
+
+// TestSerialModeMatchesSeedShape: DiscWorkers=1 keeps the seed's inline
+// dispatch — no scheduler, no browse goroutines — while still serving the
+// same requests.
+func TestSerialModeMatchesSeedShape(t *testing.T) {
+	e := newEnvWorkers(t, 4, true, 1)
+	e.create(t, "f", dbfile.KeySequenced)
+	id := tx(700)
+	e.mustCall(t, KindInsert, WriteReq{Tx: id, File: "f", Key: "k", Val: []byte("v")})
+	e.mustCall(t, KindReadRange, ReadRangeReq{File: "f", Limit: 1})
+	e.mustCall(t, KindEndTx, EndTxReq{Tx: id})
+	st := e.proc.Stats()
+	if st.Sched.Workers != 1 {
+		t.Fatalf("Workers = %d, want 1", st.Sched.Workers)
+	}
+	if st.Sched.Enqueued != 0 || st.Sched.BrowseOps != 0 {
+		t.Fatalf("serial mode used the scheduler: %+v", st.Sched)
+	}
+}

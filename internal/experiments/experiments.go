@@ -14,15 +14,20 @@ import (
 	"time"
 )
 
-// Report is one experiment's regenerated table.
+// Report is one experiment's regenerated table. The JSON form (tmfbench
+// -json) is documented in EXPERIMENTS.md.
 type Report struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	// Metrics holds machine-readable scalars (durations in nanoseconds,
+	// rates in ops/sec) for JSON consumers; the Rows render the same
+	// numbers for humans.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Pass records whether the experiment's qualitative claim held.
-	Pass bool
+	Pass bool `json:"pass"`
 }
 
 // String renders the report as an aligned text table.
@@ -75,15 +80,26 @@ func (r *Report) String() string {
 func All() []*Report {
 	reports := []*Report{
 		F1(), F2(), F3(), F4(),
-		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(),
+		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), T11(),
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
 	return reports
 }
 
-// Run executes one experiment by ID ("F1".."T7", case-insensitive), or all
-// of them for "all".
+// Run executes experiments by ID ("F1".."T11", case-insensitive), a
+// comma-separated list of IDs ("T9,T10,T11"), or all of them for "all".
 func Run(id string) ([]*Report, error) {
+	if strings.Contains(id, ",") {
+		var out []*Report
+		for _, one := range strings.Split(id, ",") {
+			rs, err := Run(strings.TrimSpace(one))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rs...)
+		}
+		return out, nil
+	}
 	switch strings.ToUpper(id) {
 	case "ALL":
 		return All(), nil
@@ -115,8 +131,10 @@ func Run(id string) ([]*Report, error) {
 		return []*Report{T9()}, nil
 	case "T10":
 		return []*Report{T10()}, nil
+	case "T11":
+		return []*Report{T11()}, nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T10, all)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T11, all)", id)
 	}
 }
 

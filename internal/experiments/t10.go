@@ -27,8 +27,8 @@ var (
 // that turns retransmission on.
 func T10() *Report {
 	r := &Report{
-		ID:    "T10",
-		Title: "suspense convergence over flaky lines (lossy partition heal)",
+		ID:      "T10",
+		Title:   "suspense convergence over flaky lines (lossy partition heal)",
 		Columns: []string{"step", "outcome"},
 	}
 	var specs []encompass.NodeSpec

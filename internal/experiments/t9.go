@@ -112,6 +112,7 @@ func T9() *Report {
 		Columns: []string{
 			"configuration", "txs", "participants/tx", "elapsed", "per-commit",
 		},
+		Metrics: map[string]float64{},
 	}
 	fail := func(err error) *Report {
 		r.Notes = append(r.Notes, err.Error())
@@ -140,15 +141,23 @@ func T9() *Report {
 	// Per-phase latency histograms from the home node's registry: the
 	// fan-out shows up as a phase-one (and begin→ENDED) shift between the
 	// sequential and parallel runs.
-	for _, h := range []struct{ label, metric string }{
-		{"phase one", obs.MPhaseOne},
-		{"phase two", obs.MPhaseTwo},
-		{"begin→ENDED", obs.MBeginToEnded},
+	for _, h := range []struct{ label, slug, metric string }{
+		{"phase one", "phase_one", obs.MPhaseOne},
+		{"phase two", "phase_two", obs.MPhaseTwo},
+		{"begin→ENDED", "begin_to_ended", obs.MBeginToEnded},
 	} {
+		seqSnap := seqReg.Histogram(h.metric).Snapshot()
+		parSnap := parReg.Histogram(h.metric).Snapshot()
 		r.Notes = append(r.Notes,
-			fmt.Sprintf("%-12s sequential: %s", h.label, seqReg.Histogram(h.metric).Snapshot().Summary()),
-			fmt.Sprintf("%-12s parallel:   %s", h.label, parReg.Histogram(h.metric).Snapshot().Summary()))
+			fmt.Sprintf("%-12s sequential: %s", h.label, seqSnap.Summary()),
+			fmt.Sprintf("%-12s parallel:   %s", h.label, parSnap.Summary()))
+		r.Metrics[h.slug+".sequential_p95_ns"] = float64(seqSnap.Quantile(0.95))
+		r.Metrics[h.slug+".parallel_p95_ns"] = float64(parSnap.Quantile(0.95))
 	}
+	r.Metrics["fanout.sequential_ns"] = float64(seq)
+	r.Metrics["fanout.parallel_ns"] = float64(par)
+	r.Metrics["fanout.speedup"] = float64(seq) / float64(max1(par))
+	r.Metrics["fanout.tx_per_sec_parallel"] = t9Txs / max1(par).Seconds()
 
 	// --- Group commit: concurrent committers share physical forces. ---
 	sys, err := encompass.Build(encompass.Config{
@@ -210,6 +219,10 @@ func T9() *Report {
 		fmt.Sprintf("group commit: %d force requests satisfied by %d physical writes (max batch %d)",
 			st.Requests, st.Forces, st.MaxBatch),
 	)
+	r.Metrics["group_commit.tx_per_sec"] = float64(gcTxs) / max1(gcElapsed).Seconds()
+	r.Metrics["group_commit.force_requests"] = float64(st.Requests)
+	r.Metrics["group_commit.physical_forces"] = float64(st.Forces)
+	r.Metrics["group_commit.max_batch"] = float64(st.MaxBatch)
 	r.Pass = par < seq && st.Forces < st.Requests
 	return r
 }

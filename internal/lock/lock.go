@@ -6,13 +6,23 @@
 // interval being specified as part of the lock request."
 //
 // A Manager serves one volume. Because a DISCPROCESS must never block its
-// single serving thread on a lock wait, acquisition is asynchronous: a
-// request that cannot be granted immediately is queued and its callback
-// fires on grant or timeout.
+// serving threads on a lock wait, acquisition is asynchronous: a request
+// that cannot be granted immediately is queued and its callback fires on
+// grant or timeout.
+//
+// The lock table is striped per file: each file's owners and waiters live
+// in their own shard behind their own mutex, so Acquire/ReleaseAll on
+// different files never contend. Waiters queue in arrival order per shard
+// and grants are strictly FIFO: a fresh request compatible with the current
+// owners still queues behind any earlier conflicting waiter (no barging),
+// so a stream of short holders cannot starve an early waiter. Snapshot
+// (process-pair checkpointing) takes every shard in sorted file order so a
+// consistent cut is captured without a global mutex on the hot path.
 package lock
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +52,16 @@ type Key struct {
 // IsFileLock reports whether the key names a whole file.
 func (k Key) IsFileLock() bool { return k.Record == "" }
 
+// conflict reports whether two keys in the same file exclude each other:
+// a file lock excludes everything in the file, records exclude only
+// themselves.
+func conflict(a, b Key) bool {
+	if a.File != b.File {
+		return false
+	}
+	return a.IsFileLock() || b.IsFileLock() || a.Record == b.Record
+}
+
 // Stats counts lock activity.
 type Stats struct {
 	Grants       uint64
@@ -52,29 +72,29 @@ type Stats struct {
 }
 
 type waiter struct {
-	tx      txid.ID
-	key     Key
-	grant   func(error)
-	timer   *time.Timer
-	expired bool
+	tx    txid.ID
+	key   Key
+	grant func(error)
+	timer *time.Timer
+	done  bool // granted, expired, or cancelled; guarded by the shard mutex
 }
 
-type fileLocks struct {
-	fileOwner   txid.ID
-	fileWaiters []*waiter
-	records     map[string]*recEntry
-}
-
-type recEntry struct {
-	owner   txid.ID
-	waiters []*waiter
+// shard is one file's lock state. waiters is kept in arrival order; it is
+// the FIFO the fairness guarantee is defined over.
+type shard struct {
+	mu        sync.Mutex
+	fileOwner txid.ID
+	records   map[string]txid.ID // record key -> owner
+	waiters   []*waiter
 }
 
 // Manager is the per-volume lock table.
 type Manager struct {
-	mu    sync.Mutex
-	files map[string]*fileLocks
-	held  map[txid.ID]map[Key]bool // reverse index for ReleaseAll
+	shardMu sync.RWMutex
+	shards  map[string]*shard
+
+	heldMu sync.Mutex
+	held   map[txid.ID]map[Key]bool // reverse index for ReleaseAll
 
 	grants      atomic.Uint64
 	immediate   atomic.Uint64
@@ -87,163 +107,192 @@ type Manager struct {
 // NewManager creates an empty lock table.
 func NewManager() *Manager {
 	return &Manager{
-		files: make(map[string]*fileLocks),
-		held:  make(map[txid.ID]map[Key]bool),
+		shards: make(map[string]*shard),
+		held:   make(map[txid.ID]map[Key]bool),
 	}
 }
 
-func (m *Manager) fl(file string) *fileLocks {
-	f := m.files[file]
-	if f == nil {
-		f = &fileLocks{records: make(map[string]*recEntry)}
-		m.files[file] = f
+// shardFor returns file's shard, creating it on first use.
+func (m *Manager) shardFor(file string) *shard {
+	m.shardMu.RLock()
+	s := m.shards[file]
+	m.shardMu.RUnlock()
+	if s != nil {
+		return s
 	}
-	return f
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	s = m.shards[file]
+	if s == nil {
+		s = &shard{records: make(map[string]txid.ID)}
+		m.shards[file] = s
+	}
+	return s
 }
 
-// compatible reports whether tx may take key right now. Caller holds m.mu.
-func (m *Manager) compatible(tx txid.ID, key Key) bool {
-	f := m.files[key.File]
-	if f == nil {
-		return true
-	}
-	if !f.fileOwner.IsZero() && f.fileOwner != tx {
+// compatibleLocked reports whether tx may take key right now given the
+// shard's owners. Caller holds s.mu.
+func (s *shard) compatibleLocked(tx txid.ID, key Key) bool {
+	if !s.fileOwner.IsZero() && s.fileOwner != tx {
 		return false
 	}
 	if key.IsFileLock() {
-		for _, re := range f.records {
-			if !re.owner.IsZero() && re.owner != tx {
+		for _, owner := range s.records {
+			if !owner.IsZero() && owner != tx {
 				return false
 			}
 		}
 		return true
 	}
-	re := f.records[key.Record]
-	return re == nil || re.owner.IsZero() || re.owner == tx
+	owner := s.records[key.Record]
+	return owner.IsZero() || owner == tx
 }
 
-// take records ownership. Caller holds m.mu and has verified compatibility.
-func (m *Manager) take(tx txid.ID, key Key) {
-	f := m.fl(key.File)
-	if key.IsFileLock() {
-		f.fileOwner = tx
-	} else {
-		re := f.records[key.Record]
-		if re == nil {
-			re = &recEntry{}
-			f.records[key.Record] = re
+// bargedLocked reports whether an earlier-queued waiter of another
+// transaction conflicts with key, in which case a fresh compatible request
+// must queue behind it instead of barging. Caller holds s.mu.
+func (s *shard) bargedLocked(tx txid.ID, key Key) bool {
+	for _, w := range s.waiters {
+		if !w.done && w.tx != tx && conflict(w.key, key) {
+			return true
 		}
-		re.owner = tx
 	}
+	return false
+}
+
+// takeLocked records ownership. Caller holds s.mu and has verified
+// compatibility.
+func (m *Manager) takeLocked(s *shard, tx txid.ID, key Key) {
+	if key.IsFileLock() {
+		s.fileOwner = tx
+	} else {
+		s.records[key.Record] = tx
+	}
+	m.heldMu.Lock()
 	h := m.held[tx]
 	if h == nil {
 		h = make(map[Key]bool)
 		m.held[tx] = h
 	}
 	h[key] = true
+	m.heldMu.Unlock()
 	m.grants.Add(1)
 }
 
 // Holds reports whether tx currently owns key.
 func (m *Manager) Holds(tx txid.ID, key Key) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.heldMu.Lock()
+	defer m.heldMu.Unlock()
 	return m.held[tx][key]
 }
 
 // HeldBy returns the current owner of key (zero if unlocked).
 func (m *Manager) HeldBy(key Key) txid.ID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.files[key.File]
-	if f == nil {
+	m.shardMu.RLock()
+	s := m.shards[key.File]
+	m.shardMu.RUnlock()
+	if s == nil {
 		return txid.ID{}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if key.IsFileLock() {
-		return f.fileOwner
+		return s.fileOwner
 	}
-	re := f.records[key.Record]
-	if re == nil {
-		return txid.ID{}
-	}
-	return re.owner
+	return s.records[key.Record]
 }
 
 // LocksHeld returns how many locks tx owns.
 func (m *Manager) LocksHeld(tx txid.ID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.heldMu.Lock()
+	defer m.heldMu.Unlock()
 	return len(m.held[tx])
 }
 
-// Acquire requests key for tx in exclusive mode. If the lock is free (or
-// already owned by tx) grant(nil) runs synchronously before Acquire
-// returns true. Otherwise the request queues: grant fires later with nil on
-// grant or ErrTimeout after timeout, and Acquire returns false.
+// compatibleFor reports whether tx would be granted key immediately: it
+// already holds it, or the owners are compatible and no earlier conflicting
+// waiter is queued. Test hook for the exclusivity property test.
+func (m *Manager) compatibleFor(tx txid.ID, key Key) bool {
+	if m.Holds(tx, key) {
+		return true
+	}
+	s := m.shardFor(key.File)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compatibleLocked(tx, key) && !s.bargedLocked(tx, key)
+}
+
+// TryAcquire grants key to tx if the grant is immediate — tx already owns
+// key, or the owners are compatible and no earlier conflicting waiter is
+// queued — and reports whether it did. It never queues a waiter.
+func (m *Manager) TryAcquire(tx txid.ID, key Key) bool {
+	if m.Holds(tx, key) {
+		m.immediate.Add(1)
+		return true
+	}
+	s := m.shardFor(key.File)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.compatibleLocked(tx, key) && !s.bargedLocked(tx, key) {
+		m.takeLocked(s, tx, key)
+		m.immediate.Add(1)
+		return true
+	}
+	return false
+}
+
+// Acquire requests key for tx in exclusive mode. If the request is
+// immediately grantable — tx already owns key, or the owners are compatible
+// and no earlier conflicting waiter is queued — grant(nil) runs
+// synchronously before Acquire returns true. Otherwise the request queues
+// in arrival order: grant fires later with nil on grant or ErrTimeout
+// after timeout, and Acquire returns false.
 func (m *Manager) Acquire(tx txid.ID, key Key, timeout time.Duration, grant func(error)) bool {
-	m.mu.Lock()
-	if m.held[tx][key] {
-		m.mu.Unlock()
+	if m.Holds(tx, key) {
 		m.immediate.Add(1)
 		grant(nil)
 		return true
 	}
-	if m.compatible(tx, key) {
-		m.take(tx, key)
-		m.mu.Unlock()
+	s := m.shardFor(key.File)
+	s.mu.Lock()
+	if s.compatibleLocked(tx, key) && !s.bargedLocked(tx, key) {
+		m.takeLocked(s, tx, key)
+		s.mu.Unlock()
 		m.immediate.Add(1)
 		grant(nil)
 		return true
 	}
 	w := &waiter{tx: tx, key: key, grant: grant}
-	f := m.fl(key.File)
-	if key.IsFileLock() {
-		f.fileWaiters = append(f.fileWaiters, w)
-	} else {
-		re := f.records[key.Record]
-		if re == nil {
-			re = &recEntry{}
-			f.records[key.Record] = re
-		}
-		re.waiters = append(re.waiters, w)
-	}
+	s.waiters = append(s.waiters, w)
 	m.waits.Add(1)
 	q := uint64(m.queueLength.Add(1))
 	if q > m.maxQueue.Load() {
 		m.maxQueue.Store(q)
 	}
-	w.timer = time.AfterFunc(timeout, func() { m.expire(w) })
-	m.mu.Unlock()
+	w.timer = time.AfterFunc(timeout, func() { m.expire(s, w) })
+	s.mu.Unlock()
 	return false
 }
 
 // expire fires on a waiter's deadline: remove it and report ErrTimeout.
-func (m *Manager) expire(w *waiter) {
-	m.mu.Lock()
-	if w.expired {
-		m.mu.Unlock()
+func (m *Manager) expire(s *shard, w *waiter) {
+	s.mu.Lock()
+	if w.done {
+		s.mu.Unlock()
 		return
 	}
-	w.expired = true
-	m.removeWaiter(w)
-	m.mu.Unlock()
+	w.done = true
+	s.waiters = without(s.waiters, w)
+	// The expired waiter may have been blocking later-queued compatible
+	// requests (no-barging); promote them now.
+	granted := m.promoteLocked(s)
+	s.mu.Unlock()
 	m.timeouts.Add(1)
 	m.queueLength.Add(-1)
 	w.grant(ErrTimeout)
-}
-
-// removeWaiter unlinks w from its queue. Caller holds m.mu.
-func (m *Manager) removeWaiter(w *waiter) {
-	f := m.files[w.key.File]
-	if f == nil {
-		return
-	}
-	if w.key.IsFileLock() {
-		f.fileWaiters = without(f.fileWaiters, w)
-		return
-	}
-	if re := f.records[w.key.Record]; re != nil {
-		re.waiters = without(re.waiters, w)
+	for _, g := range granted {
+		m.queueLength.Add(-1)
+		g.grant(nil)
 	}
 }
 
@@ -257,105 +306,91 @@ func without(ws []*waiter, w *waiter) []*waiter {
 }
 
 // ReleaseAll frees every lock tx owns and cancels its pending waits; it
-// then grants newly compatible waiters in FIFO order. Called at phase two
-// of commit or at the end of backout.
+// then grants newly compatible waiters in FIFO arrival order per shard.
+// Called at phase two of commit or at the end of backout.
 func (m *Manager) ReleaseAll(tx txid.ID) {
-	m.mu.Lock()
-	for key := range m.held[tx] {
-		f := m.files[key.File]
-		if f == nil {
-			continue
-		}
-		if key.IsFileLock() {
-			if f.fileOwner == tx {
-				f.fileOwner = txid.ID{}
-			}
-		} else if re := f.records[key.Record]; re != nil && re.owner == tx {
-			re.owner = txid.ID{}
-		}
-	}
+	m.heldMu.Lock()
 	delete(m.held, tx)
+	m.heldMu.Unlock()
 
-	// Cancel waits belonging to tx itself.
-	var cancelled []*waiter
-	for _, f := range m.files {
-		for _, w := range f.fileWaiters {
+	// The transaction may be waiting in shards where it owns nothing, so
+	// every shard is visited: release owners, cancel waits, promote.
+	m.shardMu.RLock()
+	shards := make([]*shard, 0, len(m.shards))
+	for _, s := range m.shards {
+		shards = append(shards, s)
+	}
+	m.shardMu.RUnlock()
+
+	for _, s := range shards {
+		s.mu.Lock()
+		// Release owners held by tx in this shard.
+		if s.fileOwner == tx {
+			s.fileOwner = txid.ID{}
+		}
+		for rec, owner := range s.records {
+			if owner == tx {
+				delete(s.records, rec)
+			}
+		}
+		// Cancel waits belonging to tx itself.
+		var cancelled []*waiter
+		kept := s.waiters[:0]
+		for _, w := range s.waiters {
 			if w.tx == tx {
-				cancelled = append(cancelled, w)
-			}
-		}
-		for _, re := range f.records {
-			for _, w := range re.waiters {
-				if w.tx == tx {
-					cancelled = append(cancelled, w)
-				}
-			}
-		}
-	}
-	for _, w := range cancelled {
-		w.expired = true
-		if w.timer != nil {
-			w.timer.Stop()
-		}
-		m.removeWaiter(w)
-	}
-
-	granted := m.promoteLocked()
-	m.mu.Unlock()
-
-	for _, w := range cancelled {
-		m.queueLength.Add(-1)
-		w.grant(ErrReleased)
-	}
-	for _, w := range granted {
-		m.queueLength.Add(-1)
-		w.grant(nil)
-	}
-}
-
-// promoteLocked grants every waiter that is now compatible, FIFO within
-// each queue, file waiters before record waiters. Caller holds m.mu; the
-// returned waiters' callbacks must be invoked after unlocking.
-func (m *Manager) promoteLocked() []*waiter {
-	var granted []*waiter
-	for {
-		progress := false
-		for _, f := range m.files {
-			for len(f.fileWaiters) > 0 {
-				w := f.fileWaiters[0]
-				if !m.compatible(w.tx, w.key) {
-					break
-				}
-				f.fileWaiters = f.fileWaiters[1:]
-				w.expired = true
+				w.done = true
 				if w.timer != nil {
 					w.timer.Stop()
 				}
-				m.take(w.tx, w.key)
-				granted = append(granted, w)
-				progress = true
-			}
-			for _, re := range f.records {
-				for len(re.waiters) > 0 {
-					w := re.waiters[0]
-					if !m.compatible(w.tx, w.key) {
-						break
-					}
-					re.waiters = re.waiters[1:]
-					w.expired = true
-					if w.timer != nil {
-						w.timer.Stop()
-					}
-					m.take(w.tx, w.key)
-					granted = append(granted, w)
-					progress = true
-				}
+				cancelled = append(cancelled, w)
+			} else {
+				kept = append(kept, w)
 			}
 		}
-		if !progress {
-			return granted
+		s.waiters = kept
+		granted := m.promoteLocked(s)
+		s.mu.Unlock()
+
+		for _, w := range cancelled {
+			m.queueLength.Add(-1)
+			w.grant(ErrReleased)
+		}
+		for _, w := range granted {
+			m.queueLength.Add(-1)
+			w.grant(nil)
 		}
 	}
+}
+
+// promoteLocked grants every waiter now grantable, in arrival order: a
+// waiter is granted only if it is compatible with the owners AND no
+// earlier still-queued waiter of another transaction conflicts with its
+// key — the FIFO fairness rule. Caller holds s.mu; the returned waiters'
+// callbacks must be invoked after unlocking.
+func (m *Manager) promoteLocked(s *shard) []*waiter {
+	var granted []*waiter
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		blocked := false
+		for _, e := range kept {
+			if e.tx != w.tx && conflict(e.key, w.key) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked && s.compatibleLocked(w.tx, w.key) {
+			w.done = true
+			if w.timer != nil {
+				w.timer.Stop()
+			}
+			m.takeLocked(s, w.tx, w.key)
+			granted = append(granted, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	s.waiters = kept
+	return granted
 }
 
 // Stats returns activity counters.
@@ -370,29 +405,62 @@ func (m *Manager) Stats() Stats {
 }
 
 // Snapshot lists all held locks, for checkpointing lock state to a backup
-// DISCPROCESS.
+// DISCPROCESS. It takes every shard in sorted file order (the shard-ordered
+// lock protocol) so the copy is a consistent cut: no grant or release can
+// be mid-flight across the stripes while the snapshot is taken.
 func (m *Manager) Snapshot() map[txid.ID][]Key {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.shardMu.RLock()
+	names := make([]string, 0, len(m.shards))
+	for name := range m.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	locked := make([]*shard, 0, len(names))
+	for _, name := range names {
+		s := m.shards[name]
+		s.mu.Lock()
+		locked = append(locked, s)
+	}
+	m.heldMu.Lock()
 	out := make(map[txid.ID][]Key, len(m.held))
 	for tx, keys := range m.held {
 		for k := range keys {
 			out[tx] = append(out[tx], k)
 		}
 	}
+	m.heldMu.Unlock()
+	for i := len(locked) - 1; i >= 0; i-- {
+		locked[i].mu.Unlock()
+	}
+	m.shardMu.RUnlock()
 	return out
 }
 
 // Restore installs a lock snapshot into an empty manager (backup seeding /
 // takeover).
 func (m *Manager) Restore(snap map[txid.ID][]Key) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for tx, keys := range snap {
-		for _, k := range keys {
-			if m.compatible(tx, k) {
-				m.take(tx, k)
+	// Deterministic order: file locks before record locks per transaction,
+	// so a tx's file lock never spuriously conflicts with its own records.
+	txs := make([]txid.ID, 0, len(snap))
+	for tx := range snap {
+		txs = append(txs, tx)
+	}
+	sort.Slice(txs, func(i, j int) bool { return txs[i].String() < txs[j].String() })
+	for _, tx := range txs {
+		keys := append([]Key(nil), snap[tx]...)
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].File != keys[j].File {
+				return keys[i].File < keys[j].File
 			}
+			return keys[i].Record < keys[j].Record // "" (file lock) first
+		})
+		for _, k := range keys {
+			s := m.shardFor(k.File)
+			s.mu.Lock()
+			if s.compatibleLocked(tx, k) {
+				m.takeLocked(s, tx, k)
+			}
+			s.mu.Unlock()
 		}
 	}
 }

@@ -28,9 +28,7 @@ func TestQuickExclusivityInvariant(t *testing.T) {
 		// waiter (a parked waiter's asynchronous grant would diverge from
 		// this sequential model).
 		compat := func(id txid.ID, k Key) bool {
-			m.mu.Lock()
-			defer m.mu.Unlock()
-			return m.held[id][k] || m.compatible(id, k)
+			return m.compatibleFor(id, k)
 		}
 		acquire := func(id txid.ID, k Key) bool {
 			expect := modelCompatible(owners, id, k)

@@ -255,3 +255,88 @@ func TestStats(t *testing.T) {
 		t.Errorf("MaxQueueSeen = %d, want 1", st.MaxQueueSeen)
 	}
 }
+
+// Regression for the fairness gap: a stream of short record-lock holders
+// on other records of the same file must not starve an earlier-queued
+// file-lock waiter. Before the FIFO/no-barging fix, each fresh compatible
+// record acquire was granted immediately, so the file-lock waiter could
+// wait forever while short holders cycled in front of it.
+func TestFileLockWaiterNotStarvedByShortHolders(t *testing.T) {
+	m := NewManager()
+	if !grab(m, tx(1), Key{File: "f", Record: "r1"}) {
+		t.Fatal("setup")
+	}
+	fileGranted := make(chan error, 1)
+	if m.Acquire(tx(2), Key{File: "f"}, 5*time.Second, func(err error) { fileGranted <- err }) {
+		t.Fatal("file lock should queue behind tx1's record lock")
+	}
+	// Short holders arrive after the file-lock waiter: each targets a free
+	// record, so each is compatible with the owners — but must queue behind
+	// the earlier file-lock waiter instead of barging.
+	var lateGrants []chan error
+	for i := uint64(3); i <= 8; i++ {
+		got := make(chan error, 1)
+		lateGrants = append(lateGrants, got)
+		k := Key{File: "f", Record: recName(uint8(i))}
+		if m.Acquire(tx(i), k, 5*time.Second, func(err error) { got <- err }) {
+			t.Fatalf("tx%d record acquire barged past the queued file-lock waiter", i)
+		}
+	}
+	// Releasing the original holder must grant the file lock FIRST.
+	m.ReleaseAll(tx(1))
+	select {
+	case err := <-fileGranted:
+		if err != nil {
+			t.Fatalf("file-lock waiter: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("file-lock waiter starved")
+	}
+	if got := m.HeldBy(Key{File: "f"}); got != tx(2) {
+		t.Fatalf("file owner = %v, want tx2", got)
+	}
+	for _, ch := range lateGrants {
+		select {
+		case err := <-ch:
+			t.Fatalf("late record waiter granted while file lock held (err=%v)", err)
+		default:
+		}
+	}
+	// Once the file lock is released the queued record waiters drain in
+	// arrival order.
+	m.ReleaseAll(tx(2))
+	for i, ch := range lateGrants {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("late waiter %d: %v", i, err)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("late waiter %d never granted", i)
+		}
+	}
+}
+
+// An expired waiter must stop blocking later-queued compatible requests:
+// the no-barging rule is defined over live waiters only.
+func TestExpiredWaiterUnblocksLaterArrivals(t *testing.T) {
+	m := NewManager()
+	grab(m, tx(1), Key{File: "f", Record: "r1"})
+	timedOut := make(chan error, 1)
+	m.Acquire(tx(2), Key{File: "f"}, 20*time.Millisecond, func(err error) { timedOut <- err })
+	granted := make(chan error, 1)
+	if m.Acquire(tx(3), Key{File: "f", Record: "r2"}, 5*time.Second, func(err error) { granted <- err }) {
+		t.Fatal("should queue behind the live file-lock waiter")
+	}
+	if err := <-timedOut; !errors.Is(err, ErrTimeout) {
+		t.Fatalf("file-lock waiter err = %v, want ErrTimeout", err)
+	}
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatalf("record waiter: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("record waiter still blocked by an expired waiter")
+	}
+}

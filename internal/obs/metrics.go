@@ -331,3 +331,18 @@ const (
 	MNetDecodeFailures = "net.decode_failures"
 	MNetGiveUps        = "net.retransmit_give_ups"
 )
+
+// Per-volume DISCPROCESS scheduler metric names. The volume name is part
+// of the metric name because all DISCPROCESSes on a node share one
+// registry; tmfctl metrics therefore shows where each volume spends its
+// time.
+func MDiscQueueWait(vol string) string      { return "disc." + vol + ".latency.queue_wait" }
+func MDiscAdmitted(vol string) string       { return "disc." + vol + ".sched_admitted" }
+func MDiscBrowse(vol string) string         { return "disc." + vol + ".browse_fastpath" }
+func MDiscWideBarriers(vol string) string   { return "disc." + vol + ".wide_barriers" }
+func MDiscConflictStalls(vol string) string { return "disc." + vol + ".conflict_stalls" }
+
+// MDiscFileStalls names the per-file conflict-stall counter.
+func MDiscFileStalls(vol, file string) string {
+	return "disc." + vol + ".conflict_stalls." + file
+}
