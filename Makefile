@@ -1,12 +1,16 @@
 # Development targets. `make check` is the gate used before merging: the
-# tier-1 suite plus vet, the race-detector runs over the concurrency-
-# heavy packages (commit fan-out, group commit, the multithreaded
-# DISCPROCESS scheduler, process pairs), the DiscWorkers determinism
+# tmflint static analyzers (fail fast, they are cheap), the tier-1 suite
+# plus vet, the race-detector runs over the concurrency-heavy packages
+# (commit fan-out, group commit, the multithreaded DISCPROCESS scheduler,
+# process pairs, the simulated network), the DiscWorkers determinism
 # oracle, and a bounded fuzz smoke over the wire-format round-trips.
 
 GO ?= go
 
-.PHONY: all build test check race fuzz chaos-short stress-short bench bench-json experiments
+TMFLINT := bin/tmflint
+TMFLINT_SRC := $(wildcard cmd/tmflint/*.go internal/analysis/*/*.go)
+
+.PHONY: all build test check lint race fuzz chaos-short stress-short bench bench-json experiments
 
 all: check
 
@@ -16,14 +20,25 @@ build:
 test: build
 	$(GO) test ./...
 
+# The vettool is rebuilt only when its sources change; `go vet` then runs
+# all tmflint analyzers over the whole tree in one pass. Deliberate
+# exceptions are `//lint:allow <analyzer> <reason>` directives at the
+# flagged line (see DESIGN.md §11).
+$(TMFLINT): $(TMFLINT_SRC)
+	$(GO) build -o $(TMFLINT) ./cmd/tmflint
+
+lint: $(TMFLINT)
+	$(GO) vet -vettool=$(TMFLINT) ./...
+
 # Race-detector runs over the packages with real concurrency: the TMF
 # commit/abort fan-out, the audit trail's group commit, the striped lock
 # manager, the DISCPROCESS scheduler and its handlers, the observability
-# layer they all record into, and the trace-oracle chaos test (the long
-# soak stays race-free via the package run above, but is too slow under
-# -race).
+# layer they all record into, the simulated EXPAND network and its fault
+# injector, the process-pair runtime, and the trace-oracle chaos test (the
+# long soak stays race-free via the package run above, but is too slow
+# under -race).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/...
+	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/... ./internal/expand/... ./internal/pair/...
 	$(GO) test -race -run TestChaosTraceOracle .
 
 # Fuzz smoke: a few seconds per target over the transid and message
@@ -48,7 +63,10 @@ chaos-short:
 stress-short:
 	$(GO) test -race -short -run TestDiscWorkersStressOracle -count=1 .
 
+# Lint runs first: a static-invariant violation should fail the gate in
+# seconds, before the race and soak stages spend minutes.
 check: build
+	$(MAKE) lint
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) race

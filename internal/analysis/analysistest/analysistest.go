@@ -1,0 +1,125 @@
+// Package analysistest is a golden-file test harness for tmflint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library only. A test package lives under
+// testdata/src/<pkg>/ next to the analyzer; lines expecting a finding
+// carry a trailing
+//
+//	// want "substring"
+//
+// comment. Run type-checks the package (resolving stdlib imports from
+// source), runs the analyzer through the same lint.RunAnalyzers pipeline
+// the vettool uses — so //lint:allow suppression behaves identically —
+// and fails the test on any missing or unexpected finding.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"encompass/internal/analysis/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*")\s*$`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	matched bool
+}
+
+// Run checks one analyzer against the test package in
+// testdata/src/<pkg> (relative to the calling test's directory) and
+// returns the diagnostics that survived //lint:allow filtering.
+func Run(t *testing.T, a *lint.Analyzer, pkg string) []lint.Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pattern, err := strconv.Unquote(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", path, i+1, m[1], err)
+			}
+			expects = append(expects, &expectation{file: path, line: i + 1, pattern: pattern})
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	typesPkg, err := tc.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	diags, err := lint.RunAnalyzers(fset, files, typesPkg, info, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		found := false
+		for _, e := range expects {
+			if !e.matched && e.file == posn.Filename && e.line == posn.Line && strings.Contains(d.Message, e.pattern) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected finding: [%s] %s", posn, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}

@@ -1,0 +1,94 @@
+// Package checkpointfirst enforces the process-pair write discipline at
+// the heart of the paper's no-WAL argument (§ "Transaction Monitoring",
+// Borr TR 81.2): a DISCPROCESS primary must checkpoint its intent —
+// including audit records — to its backup BEFORE performing an update, so
+// the update's recoverability never depends on a disc force.
+//
+// Concretely, in package discproc every direct mutation of the volume
+// (Volume.Write / Volume.Delete) or of the in-memory file structures
+// (File.ForceWrite / File.ForceDelete) must be lexically preceded, within
+// the same function, by a checkpoint send (Ctx.Checkpoint or the blessed
+// commitMutation wrapper, which checkpoints first). The replay paths that
+// legitimately re-apply already-checkpointed state — applyOp, applyVolume,
+// reloadFromVolume, TakeOver, Restore — are exempt: their records were
+// checkpointed when first produced.
+package checkpointfirst
+
+import (
+	"go/ast"
+	"go/token"
+
+	"encompass/internal/analysis/lint"
+)
+
+// Analyzer is the checkpointfirst analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "checkpointfirst",
+	Doc:  "flags DISCPROCESS volume/file mutations not preceded by a checkpoint to the backup",
+	Run:  run,
+}
+
+// mutators maps receiver type name -> mutating methods.
+var mutators = map[string]map[string]bool{
+	"Volume": {"Write": true, "Delete": true, "Wipe": true, "Restore": true},
+	"File":   {"ForceWrite": true, "ForceDelete": true},
+}
+
+// checkpointers are the calls that ship intent to the backup (or wrap a
+// call that does so as its first act).
+var checkpointers = map[string]bool{
+	"Checkpoint":     true, // pair.Ctx.Checkpoint
+	"commitMutation": true, // checkpoint-then-apply wrapper in app.go
+}
+
+// exempt are the replay/recovery paths: they re-apply state whose
+// checkpoint was shipped when the record was first produced.
+var exempt = map[string]bool{
+	"applyOp":          true,
+	"applyVolume":      true,
+	"reloadFromVolume": true,
+	"TakeOver":         true,
+	"Restore":          true,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() != "discproc" {
+		return nil
+	}
+	lint.ForEachFunc(pass, func(fn *lint.FuncInfo) {
+		if exempt[fn.Decl.Name.Name] {
+			return
+		}
+		// First pass: positions of checkpoint sends in this function.
+		var ckPositions []token.Pos
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel && checkpointers[sel.Sel.Name] {
+				ckPositions = append(ckPositions, call.Pos())
+			}
+			return true
+		})
+		// Second pass: every mutation must have an earlier checkpoint.
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			_, typeName, method, ok := lint.CalleeMethod(pass.TypesInfo, call)
+			if !ok || !mutators[typeName][method] {
+				return true
+			}
+			for _, ck := range ckPositions {
+				if ck < call.Pos() {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "%s.%s mutates the volume without a preceding checkpoint to the backup (checkpoint-before-update discipline)", typeName, method)
+			return true
+		})
+	})
+	return nil
+}

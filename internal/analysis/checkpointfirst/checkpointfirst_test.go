@@ -1,0 +1,11 @@
+package checkpointfirst
+
+import (
+	"testing"
+
+	"encompass/internal/analysis/analysistest"
+)
+
+func TestCheckpointFirst(t *testing.T) {
+	analysistest.Run(t, Analyzer, "discproc")
+}

@@ -1,0 +1,11 @@
+package droppederr
+
+import (
+	"testing"
+
+	"encompass/internal/analysis/analysistest"
+)
+
+func TestDroppedErr(t *testing.T) {
+	analysistest.Run(t, Analyzer, "audit")
+}

@@ -1,0 +1,39 @@
+// Test fixture for the droppederr analyzer: silently discarded errors on
+// the reliability path.
+package audit
+
+type Client struct{}
+
+func (*Client) Append(cpu int, imgs []byte) (uint64, error) { return 0, nil }
+func (*Client) Force(cpu int, upTo uint64) error            { return nil }
+
+type Ctx struct{}
+
+func (*Ctx) Checkpoint(rec any) error { return nil }
+
+type Process struct{}
+
+func (*Process) Send(addr, kind, payload any) error { return nil }
+
+func bad(c *Client, ctx *Ctx, p *Process) {
+	c.Force(0, 1)         // want "error from Client.Force dropped"
+	ctx.Checkpoint(nil)   // want "error from Ctx.Checkpoint dropped"
+	p.Send(nil, nil, nil) // want "error from Process.Send dropped"
+	c.Append(0, nil)      // want "error from Client.Append dropped"
+}
+
+func badGo(p *Process) {
+	go p.Send(nil, nil, nil) // want "error from Process.Send vanishes with the goroutine"
+}
+
+func good(c *Client, ctx *Ctx, p *Process) error {
+	if err := ctx.Checkpoint(nil); err != nil {
+		return err
+	}
+	// An explicit discard is visible intent, not a silent drop.
+	_ = p.Send(nil, nil, nil)
+	if _, err := c.Append(0, nil); err != nil {
+		return err
+	}
+	return c.Force(0, 1)
+}

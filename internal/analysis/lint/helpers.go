@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeMethod resolves a call of the form recv.Method(...) and returns
+// the receiver expression, the name of the receiver's named type
+// (pointers dereferenced; "" for non-named receivers), and the method
+// name. ok is false for non-method calls (plain functions, conversions,
+// function-valued fields).
+func CalleeMethod(info *types.Info, call *ast.CallExpr) (recv ast.Expr, typeName, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return nil, "", "", false
+	}
+	return sel.X, NamedTypeName(selection.Recv()), sel.Sel.Name, true
+}
+
+// CalleePkgFunc resolves a call of the form pkg.Func(...) against an
+// imported package and returns the package path and function name.
+func CalleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pkgName, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}
+
+// NamedTypeName returns the name of t's named type, dereferencing one
+// level of pointer; "" if t is not named.
+func NamedTypeName(t types.Type) string {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if n, isNamed := t.(*types.Named); isNamed {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// FuncName returns the name of the function declaration, qualified with
+// its receiver type for methods: "Manager.Snapshot" or "shardFor".
+func FuncName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, isStar := t.(*ast.StarExpr); isStar {
+		t = star.X
+	}
+	if id, isIdent := t.(*ast.Ident); isIdent {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// IsMapType reports whether t's underlying type is a map.
+func IsMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// FuncInfo hands one function declaration to an analyzer callback.
+type FuncInfo struct {
+	Name string // receiver-qualified, e.g. "Manager.Snapshot"
+	Decl *ast.FuncDecl
+	Body *ast.BlockStmt
+}
+
+// ForEachFunc invokes fn for every function declaration with a body in
+// the pass's files.
+func ForEachFunc(pass *Pass, fn func(*FuncInfo)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			fn(&FuncInfo{Name: FuncName(fd), Decl: fd, Body: fd.Body})
+		}
+	}
+}

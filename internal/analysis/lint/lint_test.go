@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// toyAnalyzer flags every call to a function named boom.
+var toyAnalyzer = &Analyzer{
+	Name: "toy",
+	Doc:  "flags calls to boom (test analyzer)",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "boom call")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// runToy type-checks src (a single file named toy.go) and runs the toy
+// analyzer through the same RunAnalyzers pipeline the vettool uses.
+func runToy(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "toy.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{}).Check("toy", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(fset, []*ast.File{f}, pkg, info, []*Analyzer{toyAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestAllowSuppressesExactlyOne: two identical findings, one directive —
+// exactly the annotated one is suppressed, and the directive is not
+// reported as stale.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	diags := runToy(t, `package toy
+
+func boom() {}
+
+func f() {
+	//lint:allow toy this one is deliberate
+	boom()
+	boom()
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 surviving finding, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "toy" {
+		t.Errorf("surviving finding from %q, want toy", diags[0].Analyzer)
+	}
+}
+
+// TestAllowSameLine: the directive may share the flagged line.
+func TestAllowSameLine(t *testing.T) {
+	diags := runToy(t, `package toy
+
+func boom() {}
+
+func f() {
+	boom() //lint:allow toy deliberate
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want 0 findings, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestAllowWithoutReason: a bare directive suppresses nothing and is
+// itself reported.
+func TestAllowWithoutReason(t *testing.T) {
+	diags := runToy(t, `package toy
+
+func boom() {}
+
+func f() {
+	//lint:allow toy
+	boom()
+}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings (unsuppressed boom + malformed directive), got %d: %v", len(diags), diags)
+	}
+	var sawDirective, sawToy bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lintdirective":
+			sawDirective = true
+			if !strings.Contains(d.Message, "needs a reason") {
+				t.Errorf("directive finding message = %q", d.Message)
+			}
+		case "toy":
+			sawToy = true
+		}
+	}
+	if !sawDirective || !sawToy {
+		t.Errorf("missing expected findings: %v", diags)
+	}
+}
+
+// TestAllowUnknownAnalyzer: naming a nonexistent analyzer is reported.
+func TestAllowUnknownAnalyzer(t *testing.T) {
+	diags := runToy(t, `package toy
+
+//lint:allow nosuch because reasons
+func f() {}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "lintdirective" ||
+		!strings.Contains(diags[0].Message, "unknown analyzer") {
+		t.Fatalf("want one unknown-analyzer finding, got %v", diags)
+	}
+}
+
+// TestAllowStale: a directive that suppresses nothing is reported.
+func TestAllowStale(t *testing.T) {
+	diags := runToy(t, `package toy
+
+func f() {
+	//lint:allow toy nothing here triggers it
+	_ = 1
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "lintdirective" ||
+		!strings.Contains(diags[0].Message, "stale") {
+		t.Fatalf("want one stale-directive finding, got %v", diags)
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HeldLock describes one mutex the lexical walk believes is held.
+type HeldLock struct {
+	// Key identifies the mutex expression, e.g. "m.heldMu" or "s.mu".
+	Key string
+	// Rank identifies the mutex for the ordering allowlist as
+	// "OwnerType.field" (or "var:name" for non-field mutexes).
+	Rank string
+	// Pos is where the lock was acquired.
+	Pos token.Pos
+}
+
+// MutexOpKind classifies a call's effect on the held set.
+type MutexOpKind int
+
+const (
+	MutexNone   MutexOpKind = iota
+	MutexLock               // Lock, RLock, TryLock (treated as acquired)
+	MutexUnlock             // Unlock, RUnlock
+)
+
+// MutexOp classifies call as a sync.Mutex/sync.RWMutex operation. Matching
+// is by receiver type name so analyzer testdata can use the real sync
+// package without path games.
+func MutexOp(info *types.Info, call *ast.CallExpr) (kind MutexOpKind, key, rank string) {
+	recv, typeName, method, ok := CalleeMethod(info, call)
+	if !ok || (typeName != "Mutex" && typeName != "RWMutex") {
+		return MutexNone, "", ""
+	}
+	switch method {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = MutexLock
+	case "Unlock", "RUnlock":
+		kind = MutexUnlock
+	default:
+		return MutexNone, "", ""
+	}
+	return kind, types.ExprString(recv), rankOf(info, recv)
+}
+
+// rankOf names the mutex for the ordering allowlist: "OwnerType.field"
+// when the mutex is a struct field, "var:name" otherwise.
+func rankOf(info *types.Info, recv ast.Expr) string {
+	if sel, isSel := recv.(*ast.SelectorExpr); isSel {
+		if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+			if owner := NamedTypeName(selection.Recv()); owner != "" {
+				return owner + "." + sel.Sel.Name
+			}
+		}
+		return "var:" + sel.Sel.Name
+	}
+	if id, isIdent := recv.(*ast.Ident); isIdent {
+		return "var:" + id.Name
+	}
+	return "var:" + types.ExprString(recv)
+}
+
+// WalkHeld walks one function body in lexical order, tracking the set of
+// held mutexes, and invokes fn for every CallExpr with the locks held at
+// that point — for a Lock call, the set does NOT yet include the lock
+// being acquired. Function literals are separate execution contexts (they
+// run later, usually on another goroutine) and are walked with an empty
+// held set. `defer mu.Unlock()` leaves the mutex held for the rest of the
+// body. The tracking is lexical, not path-sensitive: the codebase's
+// straight-line lock sections make that a faithful approximation, and the
+// //lint:allow escape hatch covers the rest.
+func WalkHeld(info *types.Info, body *ast.BlockStmt, fn func(call *ast.CallExpr, held []HeldLock)) {
+	if body == nil {
+		return
+	}
+	var held []HeldLock
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// Fresh context; the literal's body sees no outer locks held.
+			WalkHeld(info, n.Body, fn)
+			return
+		case *ast.DeferStmt:
+			if kind, _, _ := MutexOp(info, n.Call); kind == MutexUnlock {
+				return // deferred unlock: mutex stays held to end of body
+			}
+			// Other deferred calls still get reported with the current set.
+			for _, arg := range n.Call.Args {
+				walk(arg)
+			}
+			fn(n.Call, held)
+			return
+		case *ast.CallExpr:
+			// Inner calls evaluate before the outer one.
+			if sel, isSel := n.Fun.(*ast.SelectorExpr); isSel {
+				walk(sel.X)
+			} else {
+				walk(n.Fun)
+			}
+			for _, arg := range n.Args {
+				walk(arg)
+			}
+			fn(n, held)
+			kind, key, rank := MutexOp(info, n)
+			switch kind {
+			case MutexLock:
+				held = append(held, HeldLock{Key: key, Rank: rank, Pos: n.Pos()})
+			case MutexUnlock:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].Key == key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			return
+		}
+		// Generic traversal in source order.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			if child == nil {
+				return false
+			}
+			walk(child)
+			return false
+		})
+	}
+	walk(body)
+}

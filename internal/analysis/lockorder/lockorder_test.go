@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"encompass/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, Analyzer, "lock")
+}

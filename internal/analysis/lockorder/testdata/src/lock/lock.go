@@ -1,0 +1,91 @@
+// Test fixture for the lockorder analyzer: a miniature of the striped
+// lock manager with the canonical shardMu → shard.mu → heldMu ordering.
+package lock
+
+import "sync"
+
+type Manager struct {
+	shardMu sync.RWMutex
+	heldMu  sync.Mutex
+	shards  map[string]*shard
+}
+
+type shard struct {
+	mu    sync.Mutex
+	names []string
+}
+
+// good follows the canonical descending order.
+func (m *Manager) good(s *shard) {
+	m.shardMu.RLock()
+	s.mu.Lock()
+	m.heldMu.Lock()
+	m.heldMu.Unlock()
+	s.mu.Unlock()
+	m.shardMu.RUnlock()
+}
+
+// goodDeferred: a deferred unlock keeps the mutex held, but the nested
+// acquisition is still along an allowlisted edge.
+func (m *Manager) goodDeferred(s *shard) {
+	m.shardMu.RLock()
+	defer m.shardMu.RUnlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// goodFuncLit: a function literal runs later (usually on another
+// goroutine), so the outer lock is not held inside it.
+func (m *Manager) goodFuncLit(s *shard) {
+	m.shardMu.Lock()
+	go func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}()
+	m.shardMu.Unlock()
+}
+
+// Snapshot is the blessed sorted-order helper: multi-shard acquisition is
+// its job.
+func (m *Manager) Snapshot(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// reacquire deadlocks against itself.
+func (m *Manager) reacquire() {
+	m.heldMu.Lock()
+	m.heldMu.Lock() // want "mutex m.heldMu re-acquired while already held"
+	m.heldMu.Unlock()
+	m.heldMu.Unlock()
+}
+
+// twoShards takes a second same-rank shard outside the blessed helper.
+func (m *Manager) twoShards(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want "multi-shard acquisition"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// inverted climbs the hierarchy backwards.
+func (m *Manager) inverted(s *shard) {
+	m.heldMu.Lock()
+	s.mu.Lock() // want "not an allowlisted lock ordering"
+	s.mu.Unlock()
+	m.heldMu.Unlock()
+}
+
+type cache struct {
+	mu sync.Mutex
+}
+
+// unknownPair nests a mutex that is not in the ordering table at all.
+func (m *Manager) unknownPair(c *cache) {
+	c.mu.Lock()
+	m.shardMu.Lock() // want "not an allowlisted lock ordering"
+	m.shardMu.Unlock()
+	c.mu.Unlock()
+}

@@ -1,0 +1,11 @@
+package mailboxblock
+
+import (
+	"testing"
+
+	"encompass/internal/analysis/analysistest"
+)
+
+func TestMailboxBlock(t *testing.T) {
+	analysistest.Run(t, Analyzer, "pair")
+}

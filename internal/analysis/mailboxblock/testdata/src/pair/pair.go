@@ -1,0 +1,61 @@
+// Test fixture for the mailboxblock analyzer: blocking mailbox calls
+// (IPC sends, checkpoints, audit calls) made while a mutex is held.
+package pair
+
+import "sync"
+
+type Process struct{}
+
+func (*Process) Send(addr, kind, payload any) error { return nil }
+
+type Ctx struct{}
+
+func (*Ctx) Checkpoint(rec any) error { return nil }
+
+type Client struct{}
+
+func (*Client) Force(cpu int, upTo uint64) error { return nil }
+
+type server struct {
+	mu   sync.Mutex
+	proc *Process
+	n    int
+}
+
+func (s *server) badCheckpoint(ctx *Ctx) {
+	s.mu.Lock()
+	_ = ctx.Checkpoint(nil) // want "blocking Ctx.Checkpoint while holding mutex s.mu"
+	s.mu.Unlock()
+}
+
+func (s *server) badSend() {
+	s.mu.Lock()
+	_ = s.proc.Send(nil, nil, nil) // want "blocking Process.Send while holding mutex s.mu"
+	s.mu.Unlock()
+}
+
+// badDefer: a deferred unlock keeps the mutex held for the whole body.
+func (s *server) badDefer(cl *Client) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cl.Force(0, 1) // want "blocking Client.Force while holding mutex s.mu"
+}
+
+// goodAfterUnlock: snapshot under the lock, send outside it.
+func (s *server) goodAfterUnlock(ctx *Ctx) error {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	_ = n
+	return ctx.Checkpoint(nil)
+}
+
+// goodFuncLit: the literal runs later (on another goroutine), outside the
+// lock section.
+func (s *server) goodFuncLit() {
+	s.mu.Lock()
+	go func() {
+		_ = s.proc.Send(nil, nil, nil)
+	}()
+	s.mu.Unlock()
+}

@@ -1,0 +1,130 @@
+// Package nodeterminism guards the byte-identical determinism oracles.
+// The DiscWorkers stress oracle (PR 4) and the lossy-link chaos soak
+// (PR 3) assert that a seeded run leaves volume contents byte-identical
+// across schedules; Gray & Lamport's point that commit protocols fail on
+// the unexercised path only has teeth if the seeded simulation actually
+// replays the same way twice. Three sources of silent nondeterminism are
+// flagged in the seeded simulation packages (workload, expand):
+//
+//   - time.Now: wall-clock values leaking into simulation decisions make
+//     replays diverge; thread the simulated clock or measure latency only
+//     (and say so in a //lint:allow nodeterminism reason);
+//   - the global math/rand functions (rand.Intn, rand.Shuffle, ...):
+//     shared unseeded state — every random draw must come from an
+//     explicitly seeded *rand.Rand;
+//   - map iteration feeding an accumulator: in the wider set of emitting
+//     packages (workload, expand, experiments, obs), a `for k := range m`
+//     whose body appends to a slice or map is flagged unless the
+//     destination is sorted afterwards in the same function — iteration
+//     order would otherwise leak into routes, reports, or frames.
+package nodeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"encompass/internal/analysis/lint"
+)
+
+// Analyzer is the nodeterminism analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "nodeterminism",
+	Doc:  "flags wall-clock reads, global rand draws, and order-dependent map iteration in the seeded simulation packages",
+	Run:  run,
+}
+
+// seededPkgs are the simulation packages whose behaviour must replay
+// byte-identically from a seed.
+var seededPkgs = map[string]bool{"workload": true, "expand": true}
+
+// emitPkgs additionally build reports/routes/frames whose contents must
+// not depend on map order.
+var emitPkgs = map[string]bool{"workload": true, "expand": true, "experiments": true, "obs": true}
+
+// globalRandConstructors are the math/rand functions that do NOT touch
+// the global generator state.
+var globalRandConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func run(pass *lint.Pass) error {
+	seeded := seededPkgs[pass.Pkg.Name()]
+	emitting := emitPkgs[pass.Pkg.Name()]
+	if !seeded && !emitting {
+		return nil
+	}
+	lint.ForEachFunc(pass, func(fn *lint.FuncInfo) {
+		if seeded {
+			checkClockAndRand(pass, fn)
+		}
+		if emitting {
+			checkMapEmission(pass, fn)
+		}
+	})
+	return nil
+}
+
+func checkClockAndRand(pass *lint.Pass, fn *lint.FuncInfo) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		pkgPath, name, ok := lint.CalleePkgFunc(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkgPath == "time" && name == "Now":
+			pass.Reportf(call.Pos(), "time.Now in seeded simulation package %s: wall-clock input breaks byte-identical replay", pass.Pkg.Name())
+		case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !globalRandConstructors[name]:
+			pass.Reportf(call.Pos(), "global rand.%s draws from unseeded shared state; use an explicitly seeded *rand.Rand", name)
+		}
+		return true
+	})
+}
+
+// checkMapEmission flags `for k := range m` over a map whose body appends
+// into an accumulator that is not subsequently sorted in the same
+// function.
+func checkMapEmission(pass *lint.Pass, fn *lint.FuncInfo) {
+	// Gather sort calls in the function: sort.<Fn>(arg...) keyed by the
+	// printed form of the first argument.
+	sorted := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if pkgPath, _, ok := lint.CalleePkgFunc(pass.TypesInfo, call); ok && (pkgPath == "sort" || pkgPath == "slices") && len(call.Args) > 0 {
+			sorted[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, isRange := n.(*ast.RangeStmt)
+		if !isRange || !lint.IsMapType(pass.TypesInfo.Types[rng.X].Type) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(b ast.Node) bool {
+			asg, isAsg := b.(*ast.AssignStmt)
+			if !isAsg || len(asg.Rhs) != 1 {
+				return true
+			}
+			call, isCall := asg.Rhs[0].(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if id, isIdent := call.Fun.(*ast.Ident); !isIdent || id.Name != "append" {
+				return true
+			}
+			dest := types.ExprString(asg.Lhs[0])
+			if sorted[dest] {
+				return true
+			}
+			pass.Reportf(asg.Pos(), "append to %q inside range over map: iteration order leaks into the result; sort %q afterwards or iterate sorted keys", dest, dest)
+			return true
+		})
+		return true
+	})
+	return
+}

@@ -1,0 +1,19 @@
+package nodeterminism
+
+import (
+	"testing"
+
+	"encompass/internal/analysis/analysistest"
+)
+
+func TestNoDeterminismSeededPackage(t *testing.T) {
+	analysistest.Run(t, Analyzer, "workload")
+}
+
+// TestNoDeterminismOtherPackage checks the analyzer is scoped: the same
+// constructs in a non-simulation package report nothing.
+func TestNoDeterminismOtherPackage(t *testing.T) {
+	if diags := analysistest.Run(t, Analyzer, "other"); len(diags) != 0 {
+		t.Errorf("expected no findings outside the simulation packages, got %d", len(diags))
+	}
+}

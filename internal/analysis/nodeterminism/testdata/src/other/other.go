@@ -1,0 +1,24 @@
+// Test fixture: package other is neither a seeded simulation package nor
+// an emitting package, so nothing here is a violation.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockOK() time.Time {
+	return time.Now()
+}
+
+func randOK() int {
+	return rand.Intn(10)
+}
+
+func emitOK(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Test fixture for the nodeterminism analyzer: workload is a seeded
+// simulation package, so wall-clock reads, global rand draws, and
+// order-dependent map iteration are all violations here.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badClock() time.Time {
+	return time.Now() // want "time.Now in seeded simulation package workload"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "global rand.Intn draws from unseeded shared state"
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle draws from unseeded shared state"
+}
+
+// goodSeededRand: an explicitly seeded generator replays byte-identically.
+func goodSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func badEmit(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to \"out\" inside range over map"
+	}
+	return out
+}
+
+// goodEmitSorted: sorting the accumulator afterwards removes the map-order
+// dependence.
+func goodEmitSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goodSliceRange: ranging over a slice is ordered.
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

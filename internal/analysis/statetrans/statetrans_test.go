@@ -1,0 +1,11 @@
+package statetrans
+
+import (
+	"testing"
+
+	"encompass/internal/analysis/analysistest"
+)
+
+func TestStateTrans(t *testing.T) {
+	analysistest.Run(t, Analyzer, "tmf")
+}

@@ -1,0 +1,57 @@
+// Test fixture for the statetrans analyzer: a miniature Monitor with the
+// replicated per-CPU transaction state tables and the blessed broadcast
+// transition path.
+package tmf
+
+type ID uint64
+type State int
+
+type Monitor struct {
+	tables map[int]map[ID]State
+}
+
+// broadcast is the blessed transition path: it may write and delete.
+func (m *Monitor) broadcast(cpu int, tx ID, to State) {
+	m.tables[cpu][tx] = to
+	if to == 0 {
+		delete(m.tables[cpu], tx)
+	}
+}
+
+// Forget is the documented "transid leaves the system" path: delete only.
+func (m *Monitor) Forget(tx ID) {
+	for cpu := range m.tables {
+		delete(m.tables[cpu], tx)
+	}
+}
+
+// okRead: reads of the table are unrestricted.
+func (m *Monitor) okRead(cpu int, tx ID) State {
+	return m.tables[cpu][tx]
+}
+
+// okOtherMap: maps that are not state tables are unrestricted.
+func okOtherMap() {
+	counts := map[ID]int{}
+	counts[ID(1)] = 2
+	delete(counts, ID(1))
+}
+
+// sneakySet bypasses the traced/checked transition path.
+func (m *Monitor) sneakySet(cpu int, tx ID, to State) {
+	m.tables[cpu][tx] = to // want "direct write to replicated state table outside Monitor.broadcast"
+}
+
+// sneakyDelete removes a transid without going through broadcast/Forget.
+func (m *Monitor) sneakyDelete(cpu int, tx ID) {
+	delete(m.tables[cpu], tx) // want "direct delete from replicated state table outside Monitor.broadcast/Forget"
+}
+
+// rangeAlias writes through a range variable aliasing a state table.
+func (m *Monitor) rangeAlias(to State) {
+	for _, tab := range m.tables {
+		for tx := range tab {
+			tab[tx] = to // want "direct write to replicated state table outside Monitor.broadcast"
+		}
+	}
+}

@@ -248,8 +248,12 @@ func (c *Class) dispatcherLoop(p *msg.Process) {
 			if len(queue) == 0 && len(instances) > c.cfg.MinInstances {
 				for i, in := range instances {
 					if !in.busy && in.name == name {
+						if err := p.Send(msg.Addr{Name: in.name}, "server.retire", nil); err != nil {
+							// Retire notice undeliverable: keep the instance
+							// listed rather than orphaning a live process.
+							break
+						}
 						instances = append(instances[:i], instances[i+1:]...)
-						p.Send(msg.Addr{Name: in.name}, "server.retire", nil)
 						c.retired.Add(1)
 						c.instCount.Add(-1)
 						break
@@ -295,7 +299,12 @@ func (c *Class) instanceLoop(p *msg.Process) {
 					p.Reply(orig, Resp{Fields: fields})
 				}
 			}
-			p.Send(msg.Addr{Name: ClassName(c.cfg.Class)}, kindDone, p.Name())
+			if err := p.Send(msg.Addr{Name: ClassName(c.cfg.Class)}, kindDone, p.Name()); err != nil {
+				// The dispatcher never learns this instance is free, so no
+				// further work can reach it: exit instead of leaking a
+				// permanently-busy server.
+				return
+			}
 		}
 	}
 }

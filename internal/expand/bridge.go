@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"encompass/internal/msg"
@@ -179,6 +180,7 @@ func (b *Bridge) Peers() []string {
 	for n := range b.peers {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -287,12 +287,25 @@ func (n *Network) pathLinks(src, dst string) ([]linkKey, error) {
 	if src == dst {
 		return nil, nil
 	}
-	adj := make(map[string][]string)
+	// Build the adjacency from links in sorted order: BFS visits neighbours
+	// in insertion order, so map-order insertion would make the chosen
+	// best path (among equal-length ones) differ run to run.
+	ups := make([]linkKey, 0, len(n.links))
 	for k, l := range n.links {
 		if l.up {
-			adj[k.a] = append(adj[k.a], k.b)
-			adj[k.b] = append(adj[k.b], k.a)
+			ups = append(ups, k)
 		}
+	}
+	sort.Slice(ups, func(i, j int) bool {
+		if ups[i].a != ups[j].a {
+			return ups[i].a < ups[j].a
+		}
+		return ups[i].b < ups[j].b
+	})
+	adj := make(map[string][]string)
+	for _, k := range ups {
+		adj[k.a] = append(adj[k.a], k.b)
+		adj[k.b] = append(adj[k.b], k.a)
 	}
 	prev := map[string]string{src: src}
 	queue := []string{src}

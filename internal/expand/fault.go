@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -67,6 +68,15 @@ func (n *Network) SetFaultAll(p FaultProfile) {
 		keys = append(keys, k)
 	}
 	n.mu.Unlock()
+	// The per-link seed is derived from the slice index, so the assignment
+	// link→seed must not depend on map iteration order or the "same seed"
+	// would produce different fault sequences each run.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
 	for i, k := range keys {
 		q := p
 		q.Seed = p.Seed + int64(i)*7919
@@ -356,6 +366,10 @@ func (s *session) retransmit() {
 		s.rto = sessRetryMax
 	}
 	s.mu.Unlock()
+	// Retransmit in sequence order: the receiver tolerates reordering, but
+	// the fault injector's per-frame RNG draws follow transmission order,
+	// so map-order resends would desynchronise seeded fault schedules.
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	for _, r := range out {
 		s.net.bump(&s.net.retransmits, s.net.cRetransmits)
 		s.net.transmitFrame(sessFrame{src: s.from, dst: s.to, kind: frameData,
@@ -382,6 +396,14 @@ func (n *Network) kickSessions() {
 		ss = append(ss, s)
 	}
 	n.sessMu.Unlock()
+	// Kick in a stable order so post-heal retransmission bursts interleave
+	// the same way on every seeded run.
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].from != ss[j].from {
+			return ss[i].from < ss[j].from
+		}
+		return ss[i].to < ss[j].to
+	})
 	for _, s := range ss {
 		s.kick()
 	}

@@ -302,6 +302,7 @@ func (pr *Pair) onEvent(e hw.Event) {
 		pr.primary, pr.backup = bk, nil
 		pr.mu.Unlock()
 		pr.sys.Register(pr.name, bk.proc)
+		//lint:allow droppederr a lost promote note is recovered lazily: memberLoop calls ensurePromoted on the first client message
 		bk.proc.Send(msg.Addr{Name: pr.name}, kindPromote, nil)
 		pr.respawnBackup(bk)
 	case bk != nil && bk.proc.PID().CPU == e.CPU:
@@ -321,8 +322,11 @@ func (pr *Pair) respawnBackup(prim *member) {
 	primCPU := prim.proc.PID().CPU
 	for _, cpu := range pr.sys.Node().UpCPUs() {
 		if cpu != primCPU {
-			prim.proc.Send(msg.Addr{Name: pr.name}, kindMkBackup, cpu)
-			return
+			// A candidate CPU can go down between UpCPUs and the send; try
+			// the next one rather than silently staying backup-less.
+			if err := prim.proc.Send(msg.Addr{Name: pr.name}, kindMkBackup, cpu); err == nil {
+				return
+			}
 		}
 	}
 }
