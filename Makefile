@@ -10,7 +10,7 @@ GO ?= go
 TMFLINT := bin/tmflint
 TMFLINT_SRC := $(wildcard cmd/tmflint/*.go internal/analysis/*/*.go)
 
-.PHONY: all build test check lint race fuzz chaos-short stress-short bench bench-json experiments
+.PHONY: all build test check lint race fuzz chaos-short stress-short bench bench-json experiments soak soak-short
 
 all: check
 
@@ -38,7 +38,7 @@ lint: $(TMFLINT)
 # long soak stays race-free via the package run above, but is too slow
 # under -race).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/... ./internal/expand/... ./internal/pair/...
+	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/... ./internal/expand/... ./internal/pair/... ./internal/dst/...
 	$(GO) test -race -run TestChaosTraceOracle .
 
 # Fuzz smoke: a few seconds per target over the transid and message
@@ -63,6 +63,20 @@ chaos-short:
 stress-short:
 	$(GO) test -race -short -run TestDiscWorkersStressOracle -count=1 .
 
+# Deterministic fault-schedule exploration (the DST harness). `make soak`
+# explores SOAK_SEEDS consecutive seeds starting at SOAK_START, minimizing
+# any failure by delta debugging; `make soak-short` is the race-enabled
+# 100-seed gate that runs as part of `make check`. Any failing seed
+# reproduces exactly with: go run ./cmd/dst -seed <seed> -v
+SOAK_SEEDS ?= 1000
+SOAK_START ?= 1
+SOAK_CORPUS ?=
+soak:
+	$(GO) run ./cmd/dst -seed $(SOAK_START) -schedules $(SOAK_SEEDS) -minimize $(if $(SOAK_CORPUS),-corpus $(SOAK_CORPUS))
+
+soak-short:
+	$(GO) run -race ./cmd/dst -seed $(SOAK_START) -schedules 100
+
 # Lint runs first: a static-invariant violation should fail the gate in
 # seconds, before the race and soak stages spend minutes.
 check: build
@@ -73,15 +87,18 @@ check: build
 	$(MAKE) fuzz
 	$(MAKE) chaos-short
 	$(MAKE) stress-short
+	$(MAKE) soak-short
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable benchmark snapshot: the perf experiments (commit
 # fan-out + group commit, lossy-line convergence, multithreaded
-# DISCPROCESS ablation) as one JSON document. Schema in EXPERIMENTS.md.
+# DISCPROCESS ablation, DST explorer throughput) as one JSON document
+# stamped with the root seed and git revision. Schema in EXPERIMENTS.md.
+BENCH_OUT ?= BENCH_PR6.json
 bench-json:
-	$(GO) run ./cmd/tmfbench -exp T9,T10,T11 -json -out BENCH_PR4.json
+	$(GO) run ./cmd/tmfbench -exp T9,T10,T11,T12 -json -out $(BENCH_OUT)
 
 experiments:
 	$(GO) run ./cmd/tmfbench -exp all

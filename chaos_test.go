@@ -8,11 +8,20 @@ import (
 	"time"
 
 	"encompass"
-	"encompass/internal/audit"
+	"encompass/internal/dst"
 	"encompass/internal/expand"
 	"encompass/internal/obs"
 	"encompass/internal/workload"
 )
+
+// chaosRoot announces a chaos test's root seed. Every random stream in
+// the test (injector, workload, aborter, flapper, link faults) is derived
+// from this one seed via dst.SubSeed, so a failure log names the single
+// number that reproduces the whole run.
+func chaosRoot(t *testing.T, root int64) int64 {
+	t.Logf("chaos root seed %d (streams derived via dst.SubSeed)", root)
+	return root
+}
 
 // TestChaosSoak runs the banking workload on a two-node system while a
 // fault injector continuously fails and revives CPUs, mirrored drives,
@@ -23,6 +32,7 @@ func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
+	root := chaosRoot(t, 99)
 	sys, err := encompass.Build(encompass.Config{
 		Nodes: []encompass.NodeSpec{
 			{Name: "west", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v-west", Audited: true, CacheSize: 256}}},
@@ -40,7 +50,7 @@ func TestChaosSoak(t *testing.T) {
 		Branches: 4, Tellers: 3, Accounts: 40,
 		RemoteFraction: 0.25,
 		MaxRetries:     40,
-		Seed:           1234,
+		Seed:           dst.SubSeed(root, "workload"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -49,7 +59,7 @@ func TestChaosSoak(t *testing.T) {
 	var stop atomic.Bool
 	var injected atomic.Int64
 	go func() {
-		rng := rand.New(rand.NewSource(99))
+		rng := rand.New(rand.NewSource(dst.SubSeed(root, "injector")))
 		west, east := sys.Node("west"), sys.Node("east")
 		for !stop.Load() {
 			time.Sleep(time.Duration(5+rng.Intn(15)) * time.Millisecond)
@@ -138,6 +148,7 @@ func TestChaosSoak(t *testing.T) {
 // through legal transitions only. The runtime checker must also have seen
 // no illegal state-change broadcast.
 func TestChaosTraceOracle(t *testing.T) {
+	root := chaosRoot(t, 77)
 	sys, err := encompass.Build(encompass.Config{
 		Nodes: []encompass.NodeSpec{
 			{Name: "west", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v-west", Audited: true, CacheSize: 256}}},
@@ -156,7 +167,7 @@ func TestChaosTraceOracle(t *testing.T) {
 		Branches: 4, Tellers: 3, Accounts: 40,
 		RemoteFraction: 0.3,
 		MaxRetries:     40,
-		Seed:           77,
+		Seed:           dst.SubSeed(root, "workload"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +180,7 @@ func TestChaosTraceOracle(t *testing.T) {
 	injectorDone := make(chan struct{})
 	go func() {
 		defer close(injectorDone)
-		rng := rand.New(rand.NewSource(7700))
+		rng := rand.New(rand.NewSource(dst.SubSeed(root, "injector")))
 		nodes := []*encompass.Node{sys.Node("west"), sys.Node("east")}
 		for !stop.Load() {
 			time.Sleep(time.Duration(8+rng.Intn(12)) * time.Millisecond)
@@ -187,7 +198,7 @@ func TestChaosTraceOracle(t *testing.T) {
 	aborterDone := make(chan struct{})
 	go func() {
 		defer close(aborterDone)
-		rng := rand.New(rand.NewSource(7701))
+		rng := rand.New(rand.NewSource(dst.SubSeed(root, "aborter")))
 		west := sys.Node("west")
 		for i := 0; i < 40; i++ {
 			tx, err := west.Begin()
@@ -241,40 +252,9 @@ func TestChaosTraceOracle(t *testing.T) {
 		validated, committed, voluntaryAborts)
 }
 
-// settleAll flushes every node's safe-delivery queue and waits for
-// in-flight protocol traffic to drain.
-func settleAll(sys *encompass.System) {
-	for _, n := range sys.Nodes() {
-		n.TMF.FlushSafeQueue()
-		n.TMF.WaitSafeQueueEmpty(2 * time.Second)
-	}
-	time.Sleep(200 * time.Millisecond)
-}
-
-// operatorSweep resolves stragglers the way an operator would: abort live
-// home transactions, then force each remaining participant to its home
-// node's recorded disposition.
-func operatorSweep(sys *encompass.System) {
-	settleAll(sys)
-	for _, n := range sys.Nodes() {
-		for _, id := range n.TMF.Tracer().Transactions() {
-			if id.Home == n.Name && !n.TMF.State(id).Terminal() {
-				_ = n.TMF.Abort(id, "end-of-run sweep")
-			}
-		}
-	}
-	settleAll(sys)
-	for _, n := range sys.Nodes() {
-		for _, id := range n.TMF.Tracer().Transactions() {
-			if n.TMF.State(id).Terminal() {
-				continue
-			}
-			o, ok := sys.Node(id.Home).TMF.Outcome(id)
-			_ = n.TMF.ForceDisposition(id, ok && o == audit.OutcomeCommitted)
-		}
-	}
-	settleAll(sys)
-}
+// operatorSweep resolves stragglers the way an operator would. The DST
+// runner and the chaos tests share one implementation.
+func operatorSweep(sys *encompass.System) { dst.OperatorSweep(sys) }
 
 // validateAllTraces feeds every captured transaction trace through the
 // Figure 3 oracle and checks the runtime checker saw no illegal broadcast.
@@ -310,6 +290,7 @@ func validateAllTraces(t *testing.T, sys *encompass.System) int {
 // the Figure 3 oracle, and the session counters must show the layer
 // actually worked (retransmits and suppressed duplicates both nonzero).
 func TestChaosLossyLink(t *testing.T) {
+	root := chaosRoot(t, 4242)
 	sys, err := encompass.Build(encompass.Config{
 		Nodes: []encompass.NodeSpec{
 			{Name: "west", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v-west", Audited: true, CacheSize: 256}}},
@@ -318,7 +299,7 @@ func TestChaosLossyLink(t *testing.T) {
 		TraceCapacity: 32768,
 		LinkFault: expand.FaultProfile{
 			Loss: 0.12, Duplicate: 0.06, Reorder: 0.25, Corrupt: 0.03,
-			JitterMax: 2 * time.Millisecond, Seed: 4242,
+			JitterMax: 2 * time.Millisecond, Seed: dst.SubSeed(root, "linkfault"),
 		},
 	})
 	if err != nil {
@@ -332,7 +313,7 @@ func TestChaosLossyLink(t *testing.T) {
 		Branches: 4, Tellers: 3, Accounts: 40,
 		RemoteFraction: 0.3,
 		MaxRetries:     40,
-		Seed:           4242,
+		Seed:           dst.SubSeed(root, "workload"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -349,7 +330,7 @@ func TestChaosLossyLink(t *testing.T) {
 	flapperDone := make(chan struct{})
 	go func() {
 		defer close(flapperDone)
-		rng := rand.New(rand.NewSource(4243))
+		rng := rand.New(rand.NewSource(dst.SubSeed(root, "flapper")))
 		for !stop.Load() {
 			time.Sleep(time.Duration(40+rng.Intn(40)) * time.Millisecond)
 			sys.Network.FailLink("west", "east")

@@ -6,12 +6,13 @@
 // Usage:
 //
 //	tmfbench -exp all      # every experiment (default)
-//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T11 (claims)
+//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T12 (claims)
 //	tmfbench -exp T9,T10,T11                        # a comma-separated subset
 //	tmfbench -list         # list experiments
 //	tmfbench -exp T9 -fanout 4 -batchwindow 200us   # tune T9's knobs
 //	tmfbench -exp T10 -loss 0.2 -dup 0.1            # tune T10's fault profile
 //	tmfbench -exp T11 -discworkers 16               # tune T11's worker depth
+//	tmfbench -exp T12 -seed 7 -schedules 24         # tune the DST throughput run
 //	tmfbench -exp T9,T10,T11 -json -out BENCH.json  # machine-readable output
 //
 // With -json the reports are written as a single JSON document (schema in
@@ -25,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"strings"
 
 	"encompass/internal/experiments"
 )
@@ -45,14 +48,33 @@ var descriptions = []struct{ id, title string }{
 	{"T9", "parallel commit fan-out and audit group commit"},
 	{"T10", "suspense convergence over flaky lines (lossy partition heal)"},
 	{"T11", "multithreaded DISCPROCESS: conflict-aware intra-volume parallelism"},
+	{"T12", "DST explorer throughput: full fault schedules audited per second"},
 }
 
 // jsonDoc is the envelope written by -json; see EXPERIMENTS.md for the
-// field-by-field schema.
+// field-by-field schema. Seed and Revision pin the run's provenance: the
+// root seed every seeded experiment derives from, and the git revision of
+// the tree that produced the numbers.
 type jsonDoc struct {
 	Tool        string                `json:"tool"`
+	Seed        int64                 `json:"seed"`
+	Revision    string                `json:"revision"`
 	Experiments []*experiments.Report `json:"experiments"`
 	Failed      int                   `json:"failed"`
+}
+
+// gitRevision reports the working tree's commit (plus "-dirty" when the
+// tree has uncommitted changes), or "unknown" outside a git checkout.
+func gitRevision() string {
+	rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	r := strings.TrimSpace(string(rev))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		r += "-dirty"
+	}
+	return r
 }
 
 func main() {
@@ -65,12 +87,16 @@ func main() {
 	loss := flag.Float64("loss", experiments.T10Loss, "T10: per-frame loss probability on every line")
 	dup := flag.Float64("dup", experiments.T10Dup, "T10: per-frame duplication probability on every line")
 	discWorkers := flag.Int("discworkers", 0, "T11: DISCPROCESS worker-pool depth for the parallel runs (0 = the default depth)")
+	seed := flag.Int64("seed", experiments.T12Seed, "root seed for the seeded experiments (T12's first explored seed); stamped into -json output")
+	schedules := flag.Int("schedules", experiments.T12Schedules, "T12: number of DST schedules the throughput run explores")
 	flag.Parse()
 	experiments.T9Fanout = *fanout
 	experiments.T9BatchWindow = *batchWindow
 	experiments.T10Loss = *loss
 	experiments.T10Dup = *dup
 	experiments.T11Workers = *discWorkers
+	experiments.T12Seed = *seed
+	experiments.T12Schedules = *schedules
 
 	if *list {
 		for _, d := range descriptions {
@@ -104,7 +130,7 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonDoc{Tool: "tmfbench", Experiments: reports, Failed: failed}); err != nil {
+		if err := enc.Encode(jsonDoc{Tool: "tmfbench", Seed: *seed, Revision: gitRevision(), Experiments: reports, Failed: failed}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

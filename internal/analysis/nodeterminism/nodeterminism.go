@@ -34,12 +34,13 @@ var Analyzer = &lint.Analyzer{
 }
 
 // seededPkgs are the simulation packages whose behaviour must replay
-// byte-identically from a seed.
-var seededPkgs = map[string]bool{"workload": true, "expand": true}
+// byte-identically from a seed. dst is the fault-schedule explorer: a
+// schedule and its verdict must be pure functions of the root seed.
+var seededPkgs = map[string]bool{"workload": true, "expand": true, "dst": true}
 
 // emitPkgs additionally build reports/routes/frames whose contents must
 // not depend on map order.
-var emitPkgs = map[string]bool{"workload": true, "expand": true, "experiments": true, "obs": true}
+var emitPkgs = map[string]bool{"workload": true, "expand": true, "experiments": true, "obs": true, "dst": true}
 
 // globalRandConstructors are the math/rand functions that do NOT touch
 // the global generator state.

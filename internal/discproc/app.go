@@ -3,6 +3,7 @@ package discproc
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -351,9 +352,18 @@ func (a *app) emitImages(ctx *pair.Ctx, imgs []audit.Image) error {
 // commitMutation runs the full write discipline for one mutation:
 // checkpoint (audit records + op + locks) to the backup, append images to
 // the audit trail, apply to the file structures and the mirrored volume.
+//
+// ErrNoBackup is the one tolerable checkpoint failure (the pair runs
+// degraded, single-module, and pair.Stats counts the miss). Any other
+// error — in particular ErrHalted, this member's own CPU dying
+// mid-handler — must abandon the mutation BEFORE it touches the shared
+// volume or the audit trail: the promoted partner owns the state now, and
+// a zombie that kept applying would fork the volume from the state the
+// new primary serves.
 func (a *app) commitMutation(ctx *pair.Ctx, ck *ckRecord) error {
-	//lint:allow droppederr only possible error is ErrNoBackup: the pair runs degraded (single-module) and pair.Stats counts the miss
-	ctx.Checkpoint(*ck)
+	if err := ctx.Checkpoint(*ck); err != nil && !errors.Is(err, pair.ErrNoBackup) {
+		return err
+	}
 	if err := a.emitImages(ctx, ck.Images); err != nil {
 		return err
 	}

@@ -232,6 +232,12 @@ func (a *app) handleUpdate(ctx *pair.Ctx, m msg.Message) {
 	ck := &ckRecord{
 		Op: &ckOp{Kind: opWrite, File: req.File, Key: req.Key, Val: req.Val},
 		Tx: req.Tx,
+		// Carry the guarding record lock: it was acquired at read time,
+		// which does not checkpoint. Without it a takeover would serve new
+		// lock requests on a record whose in-flight update this checkpoint
+		// just delivered — admitting dirty reads, and letting this
+		// transaction's backout overwrite a successor's committed update.
+		Locks: []lock.Key{{File: req.File, Record: req.Key}},
 	}
 	if a.audited() {
 		ck.Images = []audit.Image{{
@@ -284,6 +290,9 @@ func (a *app) handleDelete(ctx *pair.Ctx, m msg.Message) {
 	ck := &ckRecord{
 		Op: &ckOp{Kind: opDelete, File: req.File, Key: req.Key},
 		Tx: req.Tx,
+		// Same discipline as handleUpdate: preserve the read-time lock
+		// across a takeover.
+		Locks: []lock.Key{{File: req.File, Record: req.Key}},
 	}
 	if a.audited() {
 		ck.Images = []audit.Image{{

@@ -1,0 +1,16 @@
+package dst
+
+import "testing"
+
+func TestNoFaultBaseline(t *testing.T) {
+	s := Generate(1)
+	s.Events = nil
+	s.Minimized = true
+	v, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Failed() {
+		t.Fatalf("no-fault run failed: %s: %s", v.FirstFailure().Name, v.FirstFailure().Err)
+	}
+}

@@ -1,0 +1,102 @@
+package dst
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// marshalEntry/unmarshalEntry keep the corpus files in one canonical
+// shape (indented JSON with a trailing newline).
+func marshalEntry(e *CorpusEntry) ([]byte, error) {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func unmarshalEntry(b []byte) (CorpusEntry, error) {
+	var e CorpusEntry
+	err := json.Unmarshal(b, &e)
+	return e, err
+}
+
+// CorpusEntry is one checked-in regression schedule: a seed that once
+// violated an invariant, usually minimized, with a one-line description
+// of the bug it caught. The tier-1 Replay test re-runs every entry.
+type CorpusEntry struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Schedule    Schedule `json:"schedule"`
+}
+
+// SaveCorpusEntry writes the entry to dir/<name>.json in the canonical
+// encoding.
+func SaveCorpusEntry(dir string, e CorpusEntry) error {
+	if e.Name == "" {
+		return fmt.Errorf("dst: corpus entry needs a name")
+	}
+	if strings.ContainsAny(e.Name, "/\\ ") {
+		return fmt.Errorf("dst: corpus entry name %q must be a bare filename", e.Name)
+	}
+	b, err := marshalEntry(&e)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, e.Name+".json"), b, 0o644)
+}
+
+// DecodeAny parses either a corpus entry or a bare schedule document,
+// returning the schedule — the replay CLI accepts both.
+func DecodeAny(b []byte) (Schedule, error) {
+	if e, err := unmarshalEntry(b); err == nil && (e.Schedule.Spec.Nodes > 0) {
+		return e.Schedule, nil
+	}
+	s, err := DecodeSchedule(b)
+	if err != nil {
+		return Schedule{}, err
+	}
+	if s.Spec.Nodes == 0 {
+		return Schedule{}, fmt.Errorf("dst: document is neither a corpus entry nor a schedule")
+	}
+	return s, nil
+}
+
+// LoadCorpus reads every *.json entry under dir, sorted by filename. A
+// missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []CorpusEntry
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		e, err := unmarshalEntry(b)
+		if err != nil {
+			return nil, fmt.Errorf("dst: corpus %s: %w", name, err)
+		}
+		if e.Name == "" {
+			e.Name = strings.TrimSuffix(name, ".json")
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,299 @@
+package dst
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"encompass/internal/expand"
+)
+
+// Op names one fault-injection action in a schedule. Every fault Op has a
+// matching heal Op; the generator always schedules the heal a bounded
+// number of steps after the fault so no resource stays dark forever.
+type Op string
+
+// The fault-schedule vocabulary. CrashCPU with Index 0 is the "pair
+// takeover" event: CPU 0 hosts the TMP primary and most pair primaries,
+// so crashing it forces backups to take over mid-protocol.
+const (
+	OpCrashCPU   Op = "crash-cpu"
+	OpReviveCPU  Op = "revive-cpu"
+	OpFailBus    Op = "fail-bus"
+	OpReviveBus  Op = "revive-bus"
+	OpFailLink   Op = "fail-link"
+	OpHealLink   Op = "heal-link"
+	OpLinkFault  Op = "link-fault"
+	OpClearFault Op = "clear-fault"
+	OpFailDrive  Op = "fail-drive"
+	OpReviveDrv  Op = "revive-drive"
+	OpFailCtrl   Op = "fail-ctrl"
+	OpReviveCtrl Op = "revive-ctrl"
+)
+
+// Event is one scheduled fault or heal. Step is the workload round before
+// which the event fires; events within a step apply in slice order.
+type Event struct {
+	Step  int    `json:"step"`
+	Op    Op     `json:"op"`
+	Node  string `json:"node,omitempty"`   // target node
+	Peer  string `json:"peer,omitempty"`   // link peer (link events)
+	Index int    `json:"index,omitempty"`  // CPU, bus, drive or controller
+	Vol   string `json:"volume,omitempty"` // disc events
+	// Fault carries the seeded per-link profile for OpLinkFault.
+	Fault *expand.FaultProfile `json:"fault,omitempty"`
+}
+
+// String renders the event compactly for logs and repro reports.
+func (e Event) String() string {
+	switch e.Op {
+	case OpFailLink, OpHealLink, OpClearFault:
+		return fmt.Sprintf("@%d %s %s-%s", e.Step, e.Op, e.Node, e.Peer)
+	case OpLinkFault:
+		return fmt.Sprintf("@%d %s %s-%s loss=%.2f dup=%.2f reord=%.2f corr=%.2f seed=%d",
+			e.Step, e.Op, e.Node, e.Peer, e.Fault.Loss, e.Fault.Duplicate, e.Fault.Reorder, e.Fault.Corrupt, e.Fault.Seed)
+	case OpFailDrive, OpReviveDrv, OpFailCtrl, OpReviveCtrl:
+		return fmt.Sprintf("@%d %s %s/%s[%d]", e.Step, e.Op, e.Node, e.Vol, e.Index)
+	default:
+		return fmt.Sprintf("@%d %s %s[%d]", e.Step, e.Op, e.Node, e.Index)
+	}
+}
+
+// Spec is the cluster and workload shape of one schedule, derived from the
+// root seed alongside the fault events.
+type Spec struct {
+	Nodes     int     `json:"nodes"`       // node count; names n0..n{Nodes-1}, line topology
+	CPUs      int     `json:"cpus"`        // per node
+	Steps     int     `json:"steps"`       // workload rounds
+	TxPerStep int     `json:"tx_per_step"` // transactions per node per round
+	Workers   int     `json:"workers"`     // concurrent requesters per node
+	Branches  int     `json:"branches"`
+	Tellers   int     `json:"tellers"`
+	Accounts  int     `json:"accounts"`
+	RemotePct float64 `json:"remote_fraction"`
+	HotPct    float64 `json:"hot_fraction"`
+	// AbortEvery runs one voluntary-abort transaction per this many
+	// workload transactions (0 = none), keeping the backout path in the
+	// explored mix.
+	AbortEvery   int   `json:"abort_every"`
+	WorkloadSeed int64 `json:"workload_seed"`
+}
+
+// Schedule is one complete deterministic test case: cluster shape, seeded
+// workload, and the fault-event list. A schedule freshly produced by
+// Generate is a pure function of Seed; a minimized schedule (Minimized
+// true) carries an event subset that no longer regenerates from the seed
+// and must be replayed from its serialized form.
+type Schedule struct {
+	Seed      int64   `json:"seed"`
+	Minimized bool    `json:"minimized,omitempty"`
+	Spec      Spec    `json:"spec"`
+	Events    []Event `json:"events"`
+}
+
+// Encode renders the schedule canonically. Two schedules generated from
+// the same seed encode byte-identically; the replay corpus and the
+// determinism tests both rely on this.
+func (s *Schedule) Encode() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic("dst: schedule encode: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// DecodeSchedule parses a schedule previously produced by Encode.
+func DecodeSchedule(b []byte) (Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Schedule{}, fmt.Errorf("dst: decode schedule: %w", err)
+	}
+	return s, nil
+}
+
+// NodeName returns the canonical name of node i in generated clusters.
+func NodeName(i int) string { return fmt.Sprintf("n%d", i) }
+
+// VolName returns the canonical volume name of node i in generated
+// clusters (one audited volume per node).
+func VolName(i int) string { return fmt.Sprintf("v%d", i) }
+
+// SubSeed derives a named child seed from a root seed. The chaos tests
+// route their injector and workload RNGs through this so one logged root
+// seed reproduces every random stream in the test; the generator uses it
+// for the workload and link-fault seeds. SplitMix64 over the root plus a
+// label hash keeps the children statistically independent.
+func SubSeed(root int64, label string) int64 {
+	z := uint64(root)
+	for _, c := range label {
+		z = (z ^ uint64(c)) * 0x100000001b3
+	}
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// genState tracks resource availability while generating, so the schedule
+// never stacks unrecoverable faults: at most one CPU, one bus, one drive
+// and one controller down per node/volume at a time, and a faulted or
+// downed link is left alone until healed. (Double mirror failure is total
+// media loss — that is ROLLFORWARD's department, not the explorer's.)
+type genState struct {
+	cpuUpAt  map[string]int // node -> step the crashed CPU revives
+	busUpAt  map[string]int
+	drvUpAt  map[string]int
+	ctlUpAt  map[string]int
+	linkUpAt map[string]int // "a-b" -> step the link heals / fault clears
+}
+
+// Generate derives a complete schedule from one root seed. Same seed,
+// same schedule, byte for byte; different seeds vary the cluster shape,
+// workload mix, and fault composition.
+func Generate(seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	spec := Spec{
+		Nodes:        2 + rng.Intn(2),
+		CPUs:         3 + rng.Intn(2),
+		Steps:        8 + rng.Intn(5),
+		TxPerStep:    6 + rng.Intn(5),
+		Workers:      2 + rng.Intn(2),
+		Branches:     3 + rng.Intn(3),
+		Tellers:      3,
+		Accounts:     30 + rng.Intn(20),
+		RemotePct:    0.15 + 0.25*rng.Float64(),
+		HotPct:       0,
+		AbortEvery:   0,
+		WorkloadSeed: SubSeed(seed, "workload"),
+	}
+	if rng.Intn(3) == 0 {
+		spec.HotPct = 0.1 + 0.2*rng.Float64()
+	}
+	if rng.Intn(2) == 0 {
+		spec.AbortEvery = 5 + rng.Intn(6)
+	}
+
+	st := genState{
+		cpuUpAt:  map[string]int{},
+		busUpAt:  map[string]int{},
+		drvUpAt:  map[string]int{},
+		ctlUpAt:  map[string]int{},
+		linkUpAt: map[string]int{},
+	}
+	var events []Event
+	for step := 0; step < spec.Steps; step++ {
+		n := 0
+		switch d := rng.Intn(10); {
+		case d < 3: // quiet round
+		case d < 8:
+			n = 1
+		default:
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			events = append(events, genFault(rng, &spec, &st, step)...)
+		}
+	}
+	// Stable by step: heals scheduled earlier sort before same-step
+	// faults, so a resource healed at step s can legally re-fault at s.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Step < events[j].Step })
+	return Schedule{Seed: seed, Spec: spec, Events: events}
+}
+
+// genFault draws one fault (plus its scheduled heal) if the drawn target
+// is available; an unavailable target yields no events but still consumes
+// the same RNG draws, keeping generation deterministic.
+func genFault(rng *rand.Rand, spec *Spec, st *genState, step int) []Event {
+	healAt := step + 1 + rng.Intn(3)
+	node := NodeName(rng.Intn(spec.Nodes))
+	kind := rng.Intn(100)
+	switch {
+	case kind < 30: // CPU crash; index 0 = TMP/pair-primary takeover
+		cpu := rng.Intn(spec.CPUs)
+		if st.cpuUpAt[node] > step {
+			return nil
+		}
+		st.cpuUpAt[node] = healAt
+		return []Event{
+			{Step: step, Op: OpCrashCPU, Node: node, Index: cpu},
+			{Step: healAt, Op: OpReviveCPU, Node: node, Index: cpu},
+		}
+	case kind < 40: // one interprocessor bus
+		bus := rng.Intn(2)
+		if st.busUpAt[node] > step {
+			return nil
+		}
+		st.busUpAt[node] = healAt
+		return []Event{
+			{Step: step, Op: OpFailBus, Node: node, Index: bus},
+			{Step: healAt, Op: OpReviveBus, Node: node, Index: bus},
+		}
+	case kind < 55: // link down (line topology: node i links to i+1)
+		li := rng.Intn(spec.Nodes - 1)
+		a, b := NodeName(li), NodeName(li+1)
+		lk := a + "-" + b
+		if st.linkUpAt[lk] > step {
+			return nil
+		}
+		st.linkUpAt[lk] = healAt
+		return []Event{
+			{Step: step, Op: OpFailLink, Node: a, Peer: b},
+			{Step: healAt, Op: OpHealLink, Node: a, Peer: b},
+		}
+	case kind < 70: // lossy/duplicating/reordering/corrupting line
+		li := rng.Intn(spec.Nodes - 1)
+		a, b := NodeName(li), NodeName(li+1)
+		lk := a + "-" + b
+		p := &expand.FaultProfile{
+			Loss:      0.05 + 0.10*rng.Float64(),
+			Duplicate: 0.05 * rng.Float64(),
+			Reorder:   0.3 * rng.Float64(),
+			Corrupt:   0.03 * rng.Float64(),
+			JitterMax: time.Duration(1+rng.Intn(2)) * time.Millisecond,
+			Seed:      rng.Int63(),
+		}
+		if st.linkUpAt[lk] > step {
+			return nil
+		}
+		st.linkUpAt[lk] = healAt
+		return []Event{
+			{Step: step, Op: OpLinkFault, Node: a, Peer: b, Fault: p},
+			{Step: healAt, Op: OpClearFault, Node: a, Peer: b},
+		}
+	case kind < 85: // one mirror drive
+		drive := rng.Intn(2)
+		vol := volOn(spec, node)
+		if st.drvUpAt[node] > step {
+			return nil
+		}
+		st.drvUpAt[node] = healAt
+		return []Event{
+			{Step: step, Op: OpFailDrive, Node: node, Vol: vol, Index: drive},
+			{Step: healAt, Op: OpReviveDrv, Node: node, Vol: vol, Index: drive},
+		}
+	default: // one disc controller
+		ctl := rng.Intn(2)
+		vol := volOn(spec, node)
+		if st.ctlUpAt[node] > step {
+			return nil
+		}
+		st.ctlUpAt[node] = healAt
+		return []Event{
+			{Step: step, Op: OpFailCtrl, Node: node, Vol: vol, Index: ctl},
+			{Step: healAt, Op: OpReviveCtrl, Node: node, Vol: vol, Index: ctl},
+		}
+	}
+}
+
+// volOn returns the volume name hosted on node ("nI" -> "vI").
+func volOn(spec *Spec, node string) string {
+	for i := 0; i < spec.Nodes; i++ {
+		if NodeName(i) == node {
+			return VolName(i)
+		}
+	}
+	return VolName(0)
+}

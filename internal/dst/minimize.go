@@ -1,0 +1,77 @@
+package dst
+
+import (
+	"fmt"
+	"io"
+)
+
+// Minimize shrinks a failing schedule's event list by delta debugging
+// (Zeller's ddmin): it repeatedly re-runs the schedule with subsets of
+// its events, keeping any subset that still fails, until no single-chunk
+// removal reproduces the failure. fails must return true when the
+// candidate schedule still violates an invariant; maxRuns bounds the
+// total number of executions (each one builds and drives a full cluster).
+//
+// The result carries Minimized=true: its event list is no longer the pure
+// image of the seed, so repro happens from the serialized schedule (the
+// corpus entry), not the seed alone.
+//
+// Heal events are retained alongside their faults automatically: removing
+// a heal but keeping its fault is legal (the end-of-run repair crew heals
+// everything), so ddmin operates on the raw event list.
+func Minimize(s Schedule, fails func(Schedule) bool, maxRuns int, log io.Writer) Schedule {
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format+"\n", args...)
+		}
+	}
+	runs := 0
+	try := func(events []Event) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		cand := s
+		cand.Minimized = true
+		cand.Events = events
+		return fails(cand)
+	}
+
+	events := append([]Event(nil), s.Events...)
+	n := 2 // chunk granularity
+	for len(events) > 1 && runs < maxRuns {
+		chunk := (len(events) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(events); start += chunk {
+			end := start + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			// Complement: everything except events[start:end].
+			cand := make([]Event, 0, len(events)-(end-start))
+			cand = append(cand, events[:start]...)
+			cand = append(cand, events[end:]...)
+			if len(cand) == len(events) {
+				continue
+			}
+			if try(cand) {
+				logf("minimize: removed %d events, %d remain (%d runs)", end-start, len(cand), runs)
+				events = cand
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break
+			}
+			n = min(n*2, len(events))
+		}
+	}
+	logf("minimize: done after %d runs; %d of %d events remain", runs, len(events), len(s.Events))
+	out := s
+	out.Minimized = true
+	out.Events = events
+	return out
+}

@@ -1,0 +1,96 @@
+package dst
+
+import "testing"
+
+// synthetic builds a schedule whose events are all distinguishable, for
+// exercising the minimizer without driving real clusters.
+func synthetic(n int) Schedule {
+	s := Schedule{Seed: 7, Spec: Spec{Nodes: 2, CPUs: 4, Steps: n}}
+	for i := 0; i < n; i++ {
+		s.Events = append(s.Events, Event{Step: i, Op: OpCrashCPU, Node: NodeName(i % 2), Index: i % 4})
+	}
+	return s
+}
+
+// TestMinimizeShrinksToKnownMinimum: with a failure predicate that needs
+// exactly two specific events, ddmin must shrink a 24-event schedule to
+// exactly those two and mark the result Minimized.
+func TestMinimizeShrinksToKnownMinimum(t *testing.T) {
+	s := synthetic(24)
+	culprits := []Event{s.Events[5], s.Events[17]}
+	has := func(events []Event, want Event) bool {
+		for _, ev := range events {
+			if ev == want {
+				return true
+			}
+		}
+		return false
+	}
+	runs := 0
+	fails := func(cand Schedule) bool {
+		runs++
+		return has(cand.Events, culprits[0]) && has(cand.Events, culprits[1])
+	}
+	min := Minimize(s, fails, 1000, nil)
+	if !min.Minimized {
+		t.Error("result not marked Minimized")
+	}
+	if len(min.Events) != 2 || !has(min.Events, culprits[0]) || !has(min.Events, culprits[1]) {
+		t.Fatalf("expected exactly the two culprit events, got %d: %v", len(min.Events), min.Events)
+	}
+	if runs > 1000 {
+		t.Errorf("minimizer exceeded its run budget: %d", runs)
+	}
+}
+
+// TestMinimizeSingleCulprit: a one-event root cause shrinks to one event.
+func TestMinimizeSingleCulprit(t *testing.T) {
+	s := synthetic(16)
+	culprit := s.Events[9]
+	fails := func(cand Schedule) bool {
+		for _, ev := range cand.Events {
+			if ev == culprit {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(s, fails, 1000, nil)
+	if len(min.Events) != 1 || min.Events[0] != culprit {
+		t.Fatalf("expected [%v], got %v", culprit, min.Events)
+	}
+}
+
+// TestMinimizeRespectsRunBudget: the minimizer must stop at maxRuns even
+// when it could shrink further, and still return a failing schedule no
+// larger than the input.
+func TestMinimizeRespectsRunBudget(t *testing.T) {
+	s := synthetic(32)
+	culprit := s.Events[3]
+	runs := 0
+	fails := func(cand Schedule) bool {
+		runs++
+		for _, ev := range cand.Events {
+			if ev == culprit {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(s, fails, 4, nil)
+	if runs > 4 {
+		t.Errorf("minimizer ran %d times with maxRuns=4", runs)
+	}
+	if len(min.Events) > len(s.Events) {
+		t.Error("minimized schedule grew")
+	}
+	found := false
+	for _, ev := range min.Events {
+		if ev == culprit {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("minimizer dropped the culprit — result no longer fails")
+	}
+}

@@ -1,0 +1,65 @@
+package dst
+
+import (
+	"testing"
+)
+
+// TestReplayCorpus re-runs every checked-in regression schedule and
+// requires every invariant to hold. Each entry is a schedule that once
+// violated an invariant; a failure here means a fixed bug has come back.
+func TestReplayCorpus(t *testing.T) {
+	entries, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("corpus is empty — the regression corpus must ship with the tree")
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			v, err := Run(e.Schedule, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f := v.FirstFailure(); f != nil {
+				t.Errorf("regression: %s: %s\n  bug: %s\n  repro: %s",
+					f.Name, f.Err, e.Description, ReproCommand(&e.Schedule))
+			}
+		})
+	}
+}
+
+// TestReplayDeterministic runs the smallest corpus entry twice and
+// requires identical checker verdicts and identical schedule encodings —
+// the property the corpus and the repro commands depend on.
+func TestReplayDeterministic(t *testing.T) {
+	entries, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Skip("no corpus entries")
+	}
+	smallest := entries[0]
+	for _, e := range entries[1:] {
+		if len(e.Schedule.Events) < len(smallest.Schedule.Events) {
+			smallest = e
+		}
+	}
+	first, err := Run(smallest.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(smallest.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Summary() != second.Summary() {
+		t.Errorf("verdicts diverged across replays:\n  first:  %s\n  second: %s",
+			first.Summary(), second.Summary())
+	}
+	if string(smallest.Schedule.Encode()) != string(smallest.Schedule.Encode()) {
+		t.Error("schedule encoding is not stable")
+	}
+}

@@ -1,0 +1,386 @@
+// Package dst is the deterministic fault-schedule explorer: a
+// FoundationDB-style simulation-testing harness that drives the whole
+// simulated ENCOMPASS cluster — CPU crashes, pair takeovers, bus
+// failures, link faults and flaps, disc faults, and a seeded banking
+// workload — from one root seed, then audits the run against the paper's
+// invariants (Figure 3 lifecycle fidelity, atomicity, MAT agreement
+// across nodes, no lost locks, no stuck transactions, mirror
+// convergence, post-chaos liveness).
+//
+// One seed fully determines a Schedule (cluster shape, workload mix,
+// fault-event list), so any failure reproduces from the command line:
+//
+//	go run ./cmd/dst -seed <seed> -v
+//
+// Failing schedules shrink via delta debugging (Minimize) to a minimal
+// event list and land in internal/dst/corpus/, which the Replay tier-1
+// test re-runs on every build.
+package dst
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"encompass"
+	"encompass/internal/audit"
+	"encompass/internal/expand"
+	"encompass/internal/hw"
+	"encompass/internal/workload"
+)
+
+// Options tunes one schedule execution.
+type Options struct {
+	// Log, when non-nil, receives a step-by-step execution narrative.
+	Log io.Writer
+	// KeepSystem leaves the simulated cluster running after the verdict
+	// (the default scuttles every CPU so the run's goroutines exit).
+	KeepSystem bool
+}
+
+// CheckResult is one invariant checker's verdict.
+type CheckResult struct {
+	Name string `json:"name"`
+	// Err is empty when the invariant held.
+	Err string `json:"err,omitempty"`
+}
+
+// Verdict is the outcome of executing one schedule.
+type Verdict struct {
+	Seed      int64         `json:"seed"`
+	Committed int           `json:"committed"`
+	Aborted   int           `json:"aborted"`
+	Voluntary int           `json:"voluntary_aborts"`
+	Faults    int           `json:"faults_applied"`
+	Checks    []CheckResult `json:"checks"`
+}
+
+// Failed reports whether any invariant checker failed.
+func (v *Verdict) Failed() bool {
+	for _, c := range v.Checks {
+		if c.Err != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstFailure returns the first failed check, or nil.
+func (v *Verdict) FirstFailure() *CheckResult {
+	for i := range v.Checks {
+		if v.Checks[i].Err != "" {
+			return &v.Checks[i]
+		}
+	}
+	return nil
+}
+
+// Summary renders the checker verdicts canonically: one "name=ok|FAIL"
+// token per checker in fixed order. Determinism tests compare summaries
+// across replays of the same seed.
+func (v *Verdict) Summary() string {
+	parts := make([]string, 0, len(v.Checks))
+	for _, c := range v.Checks {
+		if c.Err == "" {
+			parts = append(parts, c.Name+"=ok")
+		} else {
+			parts = append(parts, c.Name+"=FAIL")
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// ReproCommand returns the exact CLI that replays this schedule.
+func ReproCommand(s *Schedule) string {
+	if s.Minimized {
+		return "go run ./cmd/dst -replay <schedule.json>  # minimized; see corpus entry"
+	}
+	return fmt.Sprintf("go run ./cmd/dst -seed %d -v", s.Seed)
+}
+
+// Run executes the schedule against a freshly built cluster and returns
+// the invariant verdicts. The execution is deterministic at step
+// granularity: every fault event fires before the workload round its
+// Step names, and all workload record content derives from the
+// schedule's seeds.
+func Run(s Schedule, opt Options) (*Verdict, error) {
+	v, _, _, err := runKeep(s, opt)
+	return v, err
+}
+
+// runKeep is Run plus access to the built cluster and workload, for tests
+// and forensics that inspect post-run state. With opt.KeepSystem the
+// caller owns the cluster and must Scuttle it.
+func runKeep(s Schedule, opt Options) (*Verdict, *encompass.System, *workload.Bank, error) {
+	logf := func(format string, args ...any) {
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, format+"\n", args...)
+		}
+	}
+	spec := s.Spec
+	cfg := encompass.Config{TraceCapacity: traceCapacity(&spec)}
+	for i := 0; i < spec.Nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, encompass.NodeSpec{
+			Name: NodeName(i), CPUs: spec.CPUs,
+			Volumes: []encompass.VolumeSpec{{Name: VolName(i), Audited: true, CacheSize: 256}},
+		})
+	}
+	sys, err := encompass.Build(cfg)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dst: build cluster: %w", err)
+	}
+	if !opt.KeepSystem {
+		defer Scuttle(sys)
+	}
+
+	placement := make([]workload.Placement, spec.Nodes)
+	for i := range placement {
+		placement[i] = workload.Placement{Node: NodeName(i), Volume: VolName(i)}
+	}
+	bank, err := workload.SetupBank(sys, workload.BankConfig{
+		Placement:      placement,
+		Branches:       spec.Branches,
+		Tellers:        spec.Tellers,
+		Accounts:       spec.Accounts,
+		RemoteFraction: spec.RemotePct,
+		HotAccounts:    spec.HotPct,
+		MaxRetries:     40,
+		Seed:           spec.WorkloadSeed,
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dst: setup bank: %w", err)
+	}
+
+	v := &Verdict{Seed: s.Seed}
+	next := 0 // next unapplied event
+	for step := 0; step < spec.Steps; step++ {
+		for next < len(s.Events) && s.Events[next].Step <= step {
+			ev := s.Events[next]
+			next++
+			logf("  %s", ev)
+			Apply(sys, ev)
+			if isFault(ev.Op) {
+				v.Faults++
+			}
+		}
+		c, a, vol := runRound(sys, bank, &spec, step)
+		v.Committed += c
+		v.Aborted += a
+		v.Voluntary += vol
+		logf("step %d: %d committed, %d gave up, %d voluntary aborts", step, c, a, vol)
+	}
+	for ; next < len(s.Events); next++ {
+		logf("  %s", s.Events[next])
+		Apply(sys, s.Events[next])
+		if isFault(s.Events[next].Op) {
+			v.Faults++
+		}
+	}
+
+	HealEverything(sys)
+	OperatorSweep(sys)
+	v.Checks = runCheckers(sys, bank, &spec)
+	logf("verdict: %s", v.Summary())
+	return v, sys, bank, nil
+}
+
+// traceCapacity sizes each node's tracer so no trace is evicted: every
+// attempt (including retries, bounded by MaxRetries=40) begins a fresh
+// transid. The ceiling is generous — traces are small.
+func traceCapacity(spec *Spec) int {
+	n := spec.Nodes * spec.Steps * spec.TxPerStep * 48
+	if n < 1<<15 {
+		n = 1 << 15
+	}
+	return n
+}
+
+// runRound drives one workload round: every node originates TxPerStep
+// transactions across Workers concurrent requesters. Record content is a
+// pure function of (workload seed, node, step, worker), so reruns of the
+// same schedule issue the same logical transactions in the same
+// per-worker order.
+func runRound(sys *encompass.System, bank *workload.Bank, spec *Spec, step int) (committed, aborted, voluntary int) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for ni := 0; ni < spec.Nodes; ni++ {
+		node := NodeName(ni)
+		per := spec.TxPerStep / spec.Workers
+		extra := spec.TxPerStep % spec.Workers
+		for w := 0; w < spec.Workers; w++ {
+			n := per
+			if w < extra {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(node string, w, n int) {
+				defer wg.Done()
+				label := fmt.Sprintf("round/%s/%d/%d", node, step, w)
+				rng := rand.New(rand.NewSource(SubSeed(spec.WorkloadSeed, label)))
+				for i := 0; i < n; i++ {
+					if spec.AbortEvery > 0 && (i+1)%spec.AbortEvery == 0 {
+						if bank.OneAbort(node, rng) == nil {
+							mu.Lock()
+							voluntary++
+							mu.Unlock()
+						}
+						continue
+					}
+					_, err := bank.OneTx(node, rng)
+					mu.Lock()
+					if err != nil {
+						aborted++
+					} else {
+						committed++
+					}
+					mu.Unlock()
+				}
+			}(node, w, n)
+		}
+	}
+	wg.Wait()
+	return
+}
+
+// isFault distinguishes fault events from their heals for the verdict's
+// fault counter.
+func isFault(op Op) bool {
+	switch op {
+	case OpCrashCPU, OpFailBus, OpFailLink, OpLinkFault, OpFailDrive, OpFailCtrl:
+		return true
+	}
+	return false
+}
+
+// Apply performs one schedule event against a running system. It is
+// exported so the chaos tests can route their injectors through the same
+// event vocabulary.
+func Apply(sys *encompass.System, ev Event) {
+	n := sys.Node(ev.Node)
+	switch ev.Op {
+	case OpCrashCPU:
+		n.HW.FailCPU(ev.Index)
+	case OpReviveCPU:
+		n.HW.ReviveCPU(ev.Index)
+	case OpFailBus:
+		n.HW.FailBus(busOf(ev.Index))
+	case OpReviveBus:
+		n.HW.ReviveBus(busOf(ev.Index))
+	case OpFailLink:
+		sys.Network.FailLink(ev.Node, ev.Peer)
+	case OpHealLink:
+		sys.Network.HealLink(ev.Node, ev.Peer)
+	case OpLinkFault:
+		sys.Network.SetLinkFault(ev.Node, ev.Peer, *ev.Fault)
+	case OpClearFault:
+		sys.Network.SetLinkFault(ev.Node, ev.Peer, expand.FaultProfile{})
+	case OpFailDrive:
+		n.Volumes[ev.Vol].Disk.FailDrive(ev.Index)
+	case OpReviveDrv:
+		n.Volumes[ev.Vol].Disk.ReviveDrive(ev.Index)
+	case OpFailCtrl:
+		n.Volumes[ev.Vol].Disk.Controller(ev.Index).Fail()
+	case OpReviveCtrl:
+		n.Volumes[ev.Vol].Disk.Controller(ev.Index).Revive()
+	}
+}
+
+// busOf maps an event index to the hardware bus identifier.
+func busOf(i int) hw.BusID {
+	if i == 0 {
+		return hw.BusX
+	}
+	return hw.BusY
+}
+
+// HealEverything revives every CPU, bus, drive and controller, clears all
+// link faults, and heals all links — the end-of-run repair crew that runs
+// before the operator sweep and the invariant audit.
+func HealEverything(sys *encompass.System) {
+	sys.Network.ClearLinkFaults()
+	sys.Heal()
+	for _, n := range sys.Nodes() {
+		for cpu := 0; cpu < n.HW.NumCPUs(); cpu++ {
+			n.HW.ReviveCPU(cpu)
+		}
+		n.HW.ReviveBus(busOf(0))
+		n.HW.ReviveBus(busOf(1))
+		for _, vol := range volumesOf(n) {
+			for d := 0; d < 2; d++ {
+				if !vol.Disk.DriveUp(d) {
+					vol.Disk.ReviveDrive(d)
+				}
+				vol.Disk.Controller(d).Revive()
+			}
+		}
+	}
+}
+
+// Settle flushes every node's safe-delivery queue and waits for in-flight
+// protocol traffic to drain.
+func Settle(sys *encompass.System) {
+	for _, n := range sys.Nodes() {
+		n.TMF.FlushSafeQueue()
+		n.TMF.WaitSafeQueueEmpty(2 * time.Second)
+	}
+	time.Sleep(200 * time.Millisecond)
+}
+
+// OperatorSweep resolves stragglers the way an operator would: abort live
+// home transactions, then force each remaining participant to its home
+// node's recorded disposition. The chaos tests and the DST runner share
+// this end-of-run procedure.
+func OperatorSweep(sys *encompass.System) {
+	Settle(sys)
+	for _, n := range sys.Nodes() {
+		for _, id := range n.TMF.Tracer().Transactions() {
+			if id.Home == n.Name && !n.TMF.State(id).Terminal() {
+				n.TMF.Abort(id, "end-of-run sweep")
+			}
+		}
+	}
+	Settle(sys)
+	for _, n := range sys.Nodes() {
+		for _, id := range n.TMF.Tracer().Transactions() {
+			if n.TMF.State(id).Terminal() {
+				continue
+			}
+			o, ok := sys.Node(id.Home).TMF.Outcome(id)
+			n.TMF.ForceDisposition(id, ok && o == audit.OutcomeCommitted)
+		}
+	}
+	Settle(sys)
+}
+
+// Scuttle fails every CPU of every node, cancelling the process contexts
+// so a finished run's goroutines exit. Soak mode executes thousands of
+// schedules in one process; without this each cluster would leak its
+// processes forever.
+func Scuttle(sys *encompass.System) {
+	for _, n := range sys.Nodes() {
+		for cpu := 0; cpu < n.HW.NumCPUs(); cpu++ {
+			n.HW.FailCPU(cpu)
+		}
+	}
+}
+
+// volumesOf returns the node's volumes in name order.
+func volumesOf(n *encompass.Node) []*encompass.Volume {
+	names := make([]string, 0, len(n.Volumes))
+	for name := range n.Volumes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*encompass.Volume, len(names))
+	for i, name := range names {
+		out[i] = n.Volumes[name]
+	}
+	return out
+}

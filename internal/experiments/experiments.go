@@ -80,13 +80,13 @@ func (r *Report) String() string {
 func All() []*Report {
 	reports := []*Report{
 		F1(), F2(), F3(), F4(),
-		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), T11(),
+		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), T11(), T12(),
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
 	return reports
 }
 
-// Run executes experiments by ID ("F1".."T11", case-insensitive), a
+// Run executes experiments by ID ("F1".."T12", case-insensitive), a
 // comma-separated list of IDs ("T9,T10,T11"), or all of them for "all".
 func Run(id string) ([]*Report, error) {
 	if strings.Contains(id, ",") {
@@ -133,8 +133,10 @@ func Run(id string) ([]*Report, error) {
 		return []*Report{T10()}, nil
 	case "T11":
 		return []*Report{T11()}, nil
+	case "T12":
+		return []*Report{T12()}, nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T11, all)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T12, all)", id)
 	}
 }
 

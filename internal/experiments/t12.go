@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"encompass/internal/dst"
+)
+
+// T12Seed is the first root seed the DST throughput run explores,
+// settable from cmd/tmfbench (-seed). Exploration covers seeds
+// T12Seed..T12Seed+T12Schedules-1.
+var T12Seed int64 = 1
+
+// T12Schedules is how many schedules the throughput run executes.
+var T12Schedules = 12
+
+// T12Par is how many clusters run concurrently, matching cmd/dst's
+// default -par.
+var T12Par = 4
+
+// T12 measures the deterministic fault-schedule explorer's throughput:
+// complete schedules (cluster build, seeded workload under faults, heal,
+// operator sweep, all seven invariant checkers) per second. The rate is
+// what sizes the nightly soak — seeds/night = schedules/sec x 86400 — and
+// every explored schedule must come back clean, so the experiment doubles
+// as a short soak gate.
+func T12() *Report {
+	r := &Report{
+		ID:    "T12",
+		Title: "DST explorer throughput: full fault schedules audited per second",
+		Columns: []string{
+			"seeds", "par", "elapsed", "schedules/sec", "committed", "faults", "violations",
+		},
+		Metrics: map[string]float64{},
+	}
+
+	type res struct {
+		v   *dst.Verdict
+		err error
+	}
+	seeds := make(chan int64)
+	results := make(chan res, T12Schedules)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < T12Par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range seeds {
+				v, err := dst.Run(dst.Generate(s), dst.Options{})
+				results <- res{v, err}
+			}
+		}()
+	}
+	for i := 0; i < T12Schedules; i++ {
+		seeds <- T12Seed + int64(i)
+	}
+	close(seeds)
+	wg.Wait()
+	close(results)
+	elapsed := time.Since(start)
+
+	committed, faults, violations := 0, 0, 0
+	for r0 := range results {
+		if r0.err != nil {
+			violations++
+			continue
+		}
+		committed += r0.v.Committed
+		faults += r0.v.Faults
+		if r0.v.Failed() {
+			violations++
+		}
+	}
+
+	rate := float64(T12Schedules) / elapsed.Seconds()
+	r.Rows = append(r.Rows, []string{
+		fmt.Sprintf("%d..%d", T12Seed, T12Seed+int64(T12Schedules)-1),
+		i2s(T12Par), dur(elapsed), f2s(rate), i2s(committed), i2s(faults), i2s(violations),
+	})
+	r.Metrics["schedules"] = float64(T12Schedules)
+	r.Metrics["elapsed_ns"] = float64(elapsed)
+	r.Metrics["schedules_per_sec"] = rate
+	r.Metrics["committed"] = float64(committed)
+	r.Metrics["faults_applied"] = float64(faults)
+	r.Metrics["violations"] = float64(violations)
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"a nightly 8-hour soak at this rate covers ~%d seeds", int(rate*8*3600)))
+	r.Pass = violations == 0 && committed > 0
+	return r
+}

@@ -118,12 +118,18 @@ type RemoteSender interface {
 const inboxDepth = 1024
 
 // Process is a simulated Guardian process: a goroutine with an inbox,
-// hosted on one CPU.
+// hosted on one CPU incarnation. A CPU failure halts every process it
+// hosts permanently: reviving the CPU is a cold load, and only freshly
+// spawned processes run on the new incarnation.
 type Process struct {
 	sys  *System
 	pid  PID
 	cpu  *hw.CPU
 	name string
+	// ctx is the hosting CPU incarnation's context, captured at spawn.
+	// It stays cancelled after the CPU is revived, so a process that was
+	// on a failed CPU can never serve, reply, or send again.
+	ctx context.Context
 
 	inbox chan Message
 	done  chan struct{}
@@ -142,26 +148,33 @@ func (p *Process) System() *System { return p.sys }
 // Name returns the registered name the process was spawned under.
 func (p *Process) Name() string { return p.name }
 
-// Context returns a context cancelled when the hosting CPU fails or the
-// process exits.
-func (p *Process) Context() context.Context { return p.cpu.Context() }
+// Context returns a context cancelled when the hosting CPU incarnation
+// fails or the process exits. It does NOT recover when the CPU is
+// revived: revival is a cold load that only fresh processes survive.
+func (p *Process) Context() context.Context { return p.ctx }
+
+// halted reports whether the process's CPU incarnation has failed: the
+// process must do no further work of any kind. A halted process that
+// was mid-handler when its CPU died (a "zombie") must be unable to
+// acknowledge clients or mutate shared state through messages, or its
+// effects would fork from the state its promoted backup serves.
+func (p *Process) halted() bool { return p.ctx.Err() != nil }
 
 // Recv blocks until a message arrives, the hosting CPU fails, or ctx is
 // done. It returns a non-nil error when the process should stop serving.
 // A process on a failed CPU never receives another message, even one that
 // was queued before the failure: a dead processor does no work.
 func (p *Process) Recv(ctx context.Context) (Message, error) {
-	cpuCtx := p.cpu.Context()
-	if cpuCtx.Err() != nil {
+	if p.halted() {
 		return Message{}, ErrProcessDead
 	}
 	select {
 	case m := <-p.inbox:
-		if cpuCtx.Err() != nil {
+		if p.halted() {
 			return Message{}, ErrProcessDead
 		}
 		return m, nil
-	case <-cpuCtx.Done():
+	case <-p.ctx.Done():
 		return Message{}, ErrProcessDead
 	case <-ctx.Done():
 		return Message{}, ctx.Err()
@@ -170,21 +183,35 @@ func (p *Process) Recv(ctx context.Context) (Message, error) {
 
 // Call issues a request from this process and waits for the reply.
 func (p *Process) Call(ctx context.Context, to Addr, kind string, payload any) (Message, error) {
+	if p.halted() {
+		return Message{}, fmt.Errorf("%w: %s (cpu halted)", ErrProcessDead, p.pid)
+	}
 	return p.sys.call(ctx, p.pid, to, kind, payload)
 }
 
 // Send delivers a one-way message (no reply expected).
 func (p *Process) Send(to Addr, kind string, payload any) error {
+	if p.halted() {
+		return fmt.Errorf("%w: %s (cpu halted)", ErrProcessDead, p.pid)
+	}
 	return p.sys.send(Message{From: p.pid, FromSys: p.sys.node.Name(), To: to, Kind: kind, Payload: payload})
 }
 
-// Reply answers a request with a payload.
+// Reply answers a request with a payload. A halted process cannot reply:
+// the acknowledgment is what makes an operation's effects visible to the
+// requester, and a dead processor must not acknowledge anything.
 func (p *Process) Reply(req Message, payload any) error {
+	if p.halted() {
+		return fmt.Errorf("%w: %s (cpu halted)", ErrProcessDead, p.pid)
+	}
 	return p.sys.reply(req, payload, "")
 }
 
 // ReplyErr answers a request with an application error.
 func (p *Process) ReplyErr(req Message, err error) error {
+	if p.halted() {
+		return fmt.Errorf("%w: %s (cpu halted)", ErrProcessDead, p.pid)
+	}
 	if err == nil {
 		err = errors.New("unknown error")
 	}
@@ -256,6 +283,7 @@ func (s *System) Spawn(cpu int, name string, fn func(p *Process)) (*Process, err
 		pid:   PID{Node: s.node.Name(), CPU: cpu, Seq: s.nextPID},
 		cpu:   c,
 		name:  name,
+		ctx:   c.Context(), // this incarnation's context, permanently
 		inbox: make(chan Message, inboxDepth),
 		done:  make(chan struct{}),
 	}
@@ -303,8 +331,15 @@ func (s *System) unregisterPID(p *Process) {
 }
 
 // ClientCall issues a request on behalf of external code (for example a
-// simulated terminal user or a test driver) from the given CPU.
+// simulated terminal user or a test driver) from the given CPU. The call
+// fails if that CPU is down: a request cannot be submitted through a dead
+// processor.
 func (s *System) ClientCall(ctx context.Context, fromCPU int, to Addr, kind string, payload any) (Message, error) {
+	if c, err := s.node.CPU(fromCPU); err != nil {
+		return Message{}, err
+	} else if !c.Up() {
+		return Message{}, fmt.Errorf("%w: cpu %d (caller)", hw.ErrCPUDown, fromCPU)
+	}
 	return s.call(ctx, PID{Node: s.node.Name(), CPU: fromCPU}, to, kind, payload)
 }
 
@@ -354,10 +389,16 @@ func (s *System) send(m Message) error {
 }
 
 func (s *System) deliverLocal(fromCPU int, p *Process, m Message) error {
+	if p.halted() && p.cpu.Up() {
+		// The process died with an earlier CPU incarnation; the CPU was
+		// since revived (cold load), but the old process never serves
+		// again. With the CPU still down, Transfer reports ErrCPUDown.
+		return fmt.Errorf("%w: %s", ErrProcessDead, p.pid)
+	}
 	return s.node.Transfer(fromCPU, p.pid.CPU, func() {
 		select {
 		case p.inbox <- m:
-		case <-p.cpu.Context().Done():
+		case <-p.ctx.Done():
 		case <-p.done:
 		case <-time.After(5 * time.Second):
 			// A full inbox for this long indicates a stuck server; the

@@ -39,6 +39,12 @@ const (
 // callers may want to count these.
 var ErrNoBackup = errors.New("pair: running without backup")
 
+// ErrHalted is reported by Checkpoint when the checkpointing member's own
+// CPU has failed: the member is a zombie mid-takeover and must abandon the
+// operation instead of proceeding degraded — its promoted partner now owns
+// the service state.
+var ErrHalted = errors.New("pair: member's cpu halted")
+
 // App is the replicated application run by a process pair. All methods are
 // invoked from the owning member's single goroutine, so implementations
 // need no internal locking for pair-driven access.
@@ -239,6 +245,12 @@ func (pr *Pair) ensurePromoted(m *member) {
 
 // checkpoint ships a record to the backup synchronously.
 func (pr *Pair) checkpoint(from *msg.Process, cp any) error {
+	if from.Context().Err() != nil {
+		// The sender's CPU died mid-handler: it is no longer a pair member
+		// in any meaningful sense. Its in-flight operation must fail — the
+		// promoted partner (or the respawned backup) owns the state now.
+		return ErrHalted
+	}
 	pr.mu.Lock()
 	bk := pr.backup
 	pr.mu.Unlock()
@@ -250,6 +262,11 @@ func (pr *Pair) checkpoint(from *msg.Process, cp any) error {
 	defer cancel()
 	_, err := pr.sys.ClientCall(ctx, from.PID().CPU, msg.Addr{Name: bk.regName}, kindCheckpoint, cp)
 	if err != nil {
+		if from.Context().Err() != nil {
+			// Our own CPU failed during the exchange — the backup may be
+			// fine. Abandon the operation without demoting the backup.
+			return ErrHalted
+		}
 		// Backup unreachable: run degraded until a new backup is created.
 		pr.mu.Lock()
 		if pr.backup == bk {

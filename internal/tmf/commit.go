@@ -302,6 +302,13 @@ func (m *Monitor) abortLocked(tx txid.ID, reason string) {
 	if st := m.State(tx); st == txid.StateAborting || st.Terminal() {
 		return
 	}
+	// The commit record in the Monitor Audit Trail is the commit point: a
+	// transaction whose commit record exists can never be backed out, no
+	// matter what the volatile state tables claim (a replica on a reloaded
+	// processor may be stale and report the transaction unknown).
+	if o, ok := m.mat.OutcomeOf(tx); ok && o == audit.OutcomeCommitted {
+		return
+	}
 	m.closeToNewWork(tx)
 	m.broadcast(tx, txid.StateAborting)
 	m.freezeLocal(tx)

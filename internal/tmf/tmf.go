@@ -457,6 +457,37 @@ func (m *Monitor) broadcast(tx txid.ID, to txid.State) {
 	}
 }
 
+// reseedTable brings a just-revived CPU's transaction state table current
+// by copying the replica of a CPU that stayed up. A reloaded processor
+// missed every broadcast while it was down; until it is reseeded its empty
+// table would claim StateNone for transactions the rest of the node knows
+// are ended — and anything consulting the lowest-numbered up CPU (State,
+// the operator's stuck-transaction sweep) would mistake committed work for
+// never-begun work and back it out.
+func (m *Monitor) reseedTable(cpu int) {
+	if cpu < 0 || cpu >= len(m.tables) {
+		return
+	}
+	var donor = -1
+	for _, up := range m.sys.Node().UpCPUs() {
+		if up != cpu {
+			donor = up
+			break
+		}
+	}
+	if donor < 0 || donor >= len(m.tables) {
+		return // total node failure: nothing survives to copy (ROLLFORWARD path)
+	}
+	m.tabMu.Lock()
+	fresh := make(map[txid.ID]txid.State, len(m.tables[donor]))
+	for tx, st := range m.tables[donor] {
+		//lint:allow statetrans reseeding copies a surviving replica verbatim; no Figure-3 edge is taken, so there is nothing for the transition log to see
+		fresh[tx] = st
+	}
+	m.tables[cpu] = fresh
+	m.tabMu.Unlock()
+}
+
 // Forget removes a terminal transaction's replicated state ("the transid
 // leaves the system").
 func (m *Monitor) Forget(tx txid.ID) {

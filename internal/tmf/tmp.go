@@ -398,6 +398,10 @@ func (m *Monitor) abortUnreachable() {
 // finer-grained policies; this default covers transactions whose
 // BEGIN-TRANSACTION processor died.
 func (m *Monitor) onHWEvent(e hw.Event) {
+	if e.Kind == hw.EventCPUUp {
+		m.reseedTable(e.CPU)
+		return
+	}
 	if e.Kind != hw.EventCPUDown {
 		return
 	}

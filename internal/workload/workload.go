@@ -189,6 +189,27 @@ func (b *Bank) OneTx(fromNode string, rng *rand.Rand) (retries int, err error) {
 	}
 }
 
+// OneAbort runs a single voluntary-abort transaction from fromNode: it
+// read-locks and updates a pseudo-randomly chosen account, then calls
+// ABORT-TRANSACTION, exercising the backout path. The update never lands,
+// so consistency invariants are unaffected.
+func (b *Bank) OneAbort(fromNode string, rng *rand.Rand) error {
+	cfg := &b.cfg
+	br := rng.Intn(cfg.Branches)
+	acct := rng.Intn(cfg.Accounts)
+	from := b.sys.Node(fromNode)
+	suffix := partSuffix(br % len(cfg.Placement))
+	tx, err := from.Begin()
+	if err != nil {
+		return err
+	}
+	if cur, err := from.FS.ReadLock(tx.ID, "accounts"+suffix, accountKey(br, acct)); err == nil {
+		n, _ := strconv.Atoi(string(cur))
+		from.FS.Update(tx.ID, "accounts"+suffix, accountKey(br, acct), []byte(strconv.Itoa(n+1)))
+	}
+	return tx.Abort("voluntary abort (dst workload mix)")
+}
+
 func hasLocalBranch(cfg *BankConfig, node string) bool {
 	for _, pl := range cfg.Placement {
 		if pl.Node == node {
