@@ -10,7 +10,7 @@ GO ?= go
 TMFLINT := bin/tmflint
 TMFLINT_SRC := $(wildcard cmd/tmflint/*.go internal/analysis/*/*.go)
 
-.PHONY: all build test check lint race fuzz chaos-short stress-short bench bench-json experiments soak soak-short
+.PHONY: all build test check lint race fuzz chaos-short stress-short crash-matrix crash-matrix-short bench bench-json experiments soak soak-short
 
 all: check
 
@@ -38,17 +38,20 @@ lint: $(TMFLINT)
 # long soak stays race-free via the package run above, but is too slow
 # under -race).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/... ./internal/expand/... ./internal/pair/... ./internal/dst/...
+	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/... ./internal/expand/... ./internal/pair/... ./internal/dst/... ./internal/rollforward/...
 	$(GO) test -race -run TestChaosTraceOracle .
 
 # Fuzz smoke: a few seconds per target over the transid and message
-# wire-format round-trips ('go test -fuzz' accepts one target at a time).
+# wire-format round-trips and the audit trail's segment codec ('go test
+# -fuzz' accepts one target at a time).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/txid/
 	$(GO) test -run '^$$' -fuzz FuzzIDRoundTrip -fuzztime 5s ./internal/txid/
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 5s ./internal/msg/
 	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime 5s ./internal/msg/
 	$(GO) test -run '^$$' -fuzz FuzzFrameBitFlip -fuzztime 5s ./internal/msg/
+	$(GO) test -run '^$$' -fuzz FuzzRecordRoundTrip -fuzztime 5s ./internal/audit/
+	$(GO) test -run '^$$' -fuzz FuzzOpenTrail -fuzztime 5s ./internal/audit/
 
 # Short, seeded, race-enabled run of the banking workload over a lossy,
 # duplicating, reordering west–east line with link flaps: the fast gate
@@ -63,6 +66,17 @@ chaos-short:
 stress-short:
 	$(GO) test -race -short -run TestDiscWorkersStressOracle -count=1 .
 
+# Crash-point recovery matrix: damage the dumped trail media at every
+# record boundary, mid-record, and with single-bit flips in header, body,
+# chain and checksum; the reopened trail must report the torn tail and
+# ROLLFORWARD must recover exactly the committed surviving prefix. The
+# -short subset (every fifth record, fewer variants) runs in `make check`.
+crash-matrix:
+	$(GO) test -run TestCrashMatrix -count=1 -v ./internal/audit/
+
+crash-matrix-short:
+	$(GO) test -short -run TestCrashMatrix -count=1 ./internal/audit/
+
 # Deterministic fault-schedule exploration (the DST harness). `make soak`
 # explores SOAK_SEEDS consecutive seeds starting at SOAK_START, minimizing
 # any failure by delta debugging; `make soak-short` is the race-enabled
@@ -71,8 +85,9 @@ stress-short:
 SOAK_SEEDS ?= 1000
 SOAK_START ?= 1
 SOAK_CORPUS ?=
+SOAK_SHAPE ?= mixed
 soak:
-	$(GO) run ./cmd/dst -seed $(SOAK_START) -schedules $(SOAK_SEEDS) -minimize $(if $(SOAK_CORPUS),-corpus $(SOAK_CORPUS))
+	$(GO) run ./cmd/dst -seed $(SOAK_START) -schedules $(SOAK_SEEDS) -shape $(SOAK_SHAPE) -minimize $(if $(SOAK_CORPUS),-corpus $(SOAK_CORPUS))
 
 soak-short:
 	$(GO) run -race ./cmd/dst -seed $(SOAK_START) -schedules 100
@@ -87,6 +102,7 @@ check: build
 	$(MAKE) fuzz
 	$(MAKE) chaos-short
 	$(MAKE) stress-short
+	$(MAKE) crash-matrix-short
 	$(MAKE) soak-short
 
 bench:
@@ -94,11 +110,12 @@ bench:
 
 # Machine-readable benchmark snapshot: the perf experiments (commit
 # fan-out + group commit, lossy-line convergence, multithreaded
-# DISCPROCESS ablation, DST explorer throughput) as one JSON document
-# stamped with the root seed and git revision. Schema in EXPERIMENTS.md.
-BENCH_OUT ?= BENCH_PR6.json
+# DISCPROCESS ablation, DST explorer throughput, recovery time vs trail
+# length) as one JSON document stamped with the root seed and git
+# revision. Schema in EXPERIMENTS.md.
+BENCH_OUT ?= BENCH_PR7.json
 bench-json:
-	$(GO) run ./cmd/tmfbench -exp T9,T10,T11,T12 -json -out $(BENCH_OUT)
+	$(GO) run ./cmd/tmfbench -exp T9,T10,T11,T12,T13 -json -out $(BENCH_OUT)
 
 experiments:
 	$(GO) run ./cmd/tmfbench -exp all

@@ -35,13 +35,19 @@ func main() {
 	minRuns := flag.Int("minruns", 60, "max executions the minimizer may spend per failure")
 	corpusDir := flag.String("corpus", "", "write minimized failing schedules into this directory")
 	replay := flag.String("replay", "", "replay one serialized schedule or corpus entry (JSON file)")
+	shapeName := flag.String("shape", string(dst.ShapeMixed), "schedule shape: mixed, or total-failure (archive -> total node failure -> ROLLFORWARD in every schedule)")
 	verbose := flag.Bool("v", false, "narrate each schedule's events and rounds")
 	flag.Parse()
 
+	shape, err := dst.ParseShape(*shapeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *replay != "" {
 		os.Exit(replayFile(*replay, *verbose))
 	}
-	os.Exit(explore(*seed, *schedules, *par, *minimize, *minRuns, *corpusDir, *verbose))
+	os.Exit(explore(*seed, *schedules, *par, shape, *minimize, *minRuns, *corpusDir, *verbose))
 }
 
 // replayFile re-runs one serialized schedule (a corpus entry or a bare
@@ -75,7 +81,7 @@ func replayFile(path string, verbose bool) int {
 }
 
 // explore runs schedules for seeds seed..seed+schedules-1, par at a time.
-func explore(seed int64, schedules, par int, minimize bool, minRuns int, corpusDir string, verbose bool) int {
+func explore(seed int64, schedules, par int, shape dst.Shape, minimize bool, minRuns int, corpusDir string, verbose bool) int {
 	if par < 1 {
 		par = 1
 	}
@@ -97,7 +103,7 @@ func explore(seed int64, schedules, par int, minimize bool, minRuns int, corpusD
 				if verbose {
 					opt.Log = os.Stdout
 				}
-				v, err := dst.Run(dst.Generate(s), opt)
+				v, err := dst.Run(dst.GenerateShaped(s, shape), opt)
 				results <- result{s, v, err}
 			}
 		}()
@@ -124,10 +130,14 @@ func explore(seed int64, schedules, par int, minimize bool, minRuns int, corpusD
 			failedSeeds = append(failedSeeds, r.seed)
 			f := r.verdict.FirstFailure()
 			fmt.Printf("seed %d: FAIL %s: %s\n", r.seed, f.Name, f.Err)
-			sched := dst.Generate(r.seed)
-			fmt.Printf("  repro: %s\n", dst.ReproCommand(&sched))
+			sched := dst.GenerateShaped(r.seed, shape)
+			repro := dst.ReproCommand(&sched)
+			if shape != dst.ShapeMixed {
+				repro += " -shape " + string(shape)
+			}
+			fmt.Printf("  repro: %s\n", repro)
 			if minimize {
-				minimizeOne(r.seed, minRuns, corpusDir)
+				minimizeOne(r.seed, shape, minRuns, corpusDir)
 			}
 		} else {
 			clean++
@@ -150,12 +160,12 @@ func explore(seed int64, schedules, par int, minimize bool, minRuns int, corpusD
 
 // minimizeOne shrinks a failing seed's schedule and optionally writes the
 // corpus entry.
-func minimizeOne(seed int64, minRuns int, corpusDir string) {
+func minimizeOne(seed int64, shape dst.Shape, minRuns int, corpusDir string) {
 	fails := func(s dst.Schedule) bool {
 		v, err := dst.Run(s, dst.Options{})
 		return err == nil && v.Failed()
 	}
-	minimal := dst.Minimize(dst.Generate(seed), fails, minRuns, os.Stdout)
+	minimal := dst.Minimize(dst.GenerateShaped(seed, shape), fails, minRuns, os.Stdout)
 	// Re-verify and report the minimal schedule's failure.
 	v, err := dst.Run(minimal, dst.Options{})
 	if err != nil {

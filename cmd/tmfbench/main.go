@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tmfbench -exp all      # every experiment (default)
-//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T12 (claims)
+//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T13 (claims)
 //	tmfbench -exp T9,T10,T11                        # a comma-separated subset
 //	tmfbench -list         # list experiments
 //	tmfbench -exp T9 -fanout 4 -batchwindow 200us   # tune T9's knobs
@@ -49,6 +49,7 @@ var descriptions = []struct{ id, title string }{
 	{"T10", "suspense convergence over flaky lines (lossy partition heal)"},
 	{"T11", "multithreaded DISCPROCESS: conflict-aware intra-volume parallelism"},
 	{"T12", "DST explorer throughput: full fault schedules audited per second"},
+	{"T13", "ROLLFORWARD recovery time vs audit-trail length (streamed replay)"},
 }
 
 // jsonDoc is the envelope written by -json; see EXPERIMENTS.md for the
@@ -78,7 +79,7 @@ func gitRevision() string {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: F1-F4, T1-T11, a comma-separated list, or all")
+	exp := flag.String("exp", "all", "experiments to run: F1-F4, T1-T13, a comma-separated list, or all")
 	list := flag.Bool("list", false, "list experiments and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of text tables (schema in EXPERIMENTS.md)")
 	out := flag.String("out", "", "write output to this file instead of stdout")

@@ -1,6 +1,7 @@
 package dst
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -25,6 +26,7 @@ func runCheckers(sys *encompass.System, bank *workload.Bank, spec *Spec) []Check
 		{"no-stuck-tx", checkNoStuckTx},
 		{"no-lost-locks", checkNoLostLocks},
 		{"mirror-convergence", checkMirrors},
+		{"durability", checkDurability},
 		{"liveness", checkLiveness},
 	}
 	out := make([]CheckResult, 0, len(checks))
@@ -156,6 +158,131 @@ func checkMirrors(sys *encompass.System, bank *workload.Bank, spec *Spec) error 
 		for _, vol := range volumesOf(n) {
 			if !vol.Disk.MirrorsConsistent() {
 				return fmt.Errorf("mirrors of %s on %s diverged after heal", vol.Disk.Name(), n.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDurability replays every audited volume's trail from scratch,
+// applying only the images of transactions whose home node's Monitor
+// Audit Trail says committed, and requires the result to equal the
+// volume's final contents byte for byte. This is the no-lost-commit /
+// no-resurrected-abort oracle for the total-node-failure shape: a
+// committed transaction dropped by ROLLFORWARD leaves a key missing its
+// after-image; an aborted transaction resurrected by replay leaves one
+// holding it. Valid because every transactional volume mutation emits an
+// audit image while backout and ROLLFORWARD repair writes do not — they
+// restore values some earlier image (or the seed state) already
+// determined.
+func checkDurability(sys *encompass.System, bank *workload.Bank, spec *Spec) error {
+	for _, n := range sys.Nodes() {
+		for _, vol := range volumesOf(n) {
+			if vol.Trail == nil {
+				continue
+			}
+			want := make(map[string]map[string][]byte)
+			committed := make(map[txid.ID]bool)
+			r, err := vol.Trail.Stream(0)
+			if err != nil {
+				return fmt.Errorf("durability: stream %s: %v", vol.Trail.Name(), err)
+			}
+			for {
+				img, ok, err := r.Next()
+				if err != nil {
+					return fmt.Errorf("durability: stream %s: %v", vol.Trail.Name(), err)
+				}
+				if !ok {
+					break
+				}
+				if img.Volume != vol.Disk.Name() {
+					continue
+				}
+				c, seen := committed[img.Tx]
+				if !seen {
+					if home := sys.Node(img.Tx.Home); home != nil {
+						o, known := home.TMF.Outcome(img.Tx)
+						c = known && o == audit.OutcomeCommitted
+					}
+					committed[img.Tx] = c
+				}
+				if !c {
+					continue
+				}
+				if img.Kind == audit.ImageDelete {
+					delete(want[img.File], img.Key)
+				} else {
+					if want[img.File] == nil {
+						want[img.File] = make(map[string][]byte)
+					}
+					want[img.File][img.Key] = img.After
+				}
+			}
+			got := vol.Disk.Snapshot()
+			// File metadata is persisted outside any transaction (it
+			// belongs to the catalog, not the data), and files emptied by
+			// deletes normalize away.
+			delete(got, "__meta__")
+			for f, recs := range want {
+				if len(recs) == 0 {
+					delete(want, f)
+				}
+			}
+			for f, recs := range got {
+				if len(recs) == 0 {
+					delete(got, f)
+				}
+			}
+			if err := diffSnapshots(vol.Disk.Name(), n.Name, want, got); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// diffSnapshots reports the first difference between the replayed image
+// of a volume and its actual contents, in deterministic order.
+func diffSnapshots(vol, node string, want, got map[string]map[string][]byte) error {
+	files := make([]string, 0, len(want)+len(got))
+	seen := make(map[string]bool)
+	for f := range want {
+		files = append(files, f)
+		seen[f] = true
+	}
+	for f := range got {
+		if !seen[f] {
+			files = append(files, f)
+		}
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		w, g := want[f], got[f]
+		keys := make([]string, 0, len(w)+len(g))
+		ks := make(map[string]bool)
+		for k := range w {
+			keys = append(keys, k)
+			ks[k] = true
+		}
+		for k := range g {
+			if !ks[k] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			wv, wok := w[k]
+			gv, gok := g[k]
+			switch {
+			case wok && !gok:
+				return fmt.Errorf("durability: %s on %s: %s/%s committed as %q but missing from the volume",
+					vol, node, f, k, wv)
+			case !wok && gok:
+				return fmt.Errorf("durability: %s on %s: %s/%s holds %q with no committed image (resurrected write?)",
+					vol, node, f, k, gv)
+			case !bytes.Equal(wv, gv):
+				return fmt.Errorf("durability: %s on %s: %s/%s is %q, committed images say %q",
+					vol, node, f, k, gv, wv)
 			}
 		}
 	}

@@ -31,6 +31,18 @@ const (
 	OpReviveDrv  Op = "revive-drive"
 	OpFailCtrl   Op = "fail-ctrl"
 	OpReviveCtrl Op = "revive-ctrl"
+
+	// The total-node-failure triple (claim 6). OpArchive takes a fuzzy
+	// ROLLFORWARD archive of the node while transactions run; OpTotalFail
+	// crashes every CPU at once, losing the unforced audit tails;
+	// OpRollforward restores the archive and rolls the node forward,
+	// negotiating ENDING transactions with its peers. The generator always
+	// emits them as an ordered triple on one node — a schedule with a
+	// total failure but no archive or no recovery is not well-formed (see
+	// WellFormed), because the node could never rejoin the run.
+	OpArchive     Op = "archive"
+	OpTotalFail   Op = "total-fail"
+	OpRollforward Op = "rollforward"
 )
 
 // Event is one scheduled fault or heal. Step is the workload round before
@@ -56,6 +68,8 @@ func (e Event) String() string {
 			e.Step, e.Op, e.Node, e.Peer, e.Fault.Loss, e.Fault.Duplicate, e.Fault.Reorder, e.Fault.Corrupt, e.Fault.Seed)
 	case OpFailDrive, OpReviveDrv, OpFailCtrl, OpReviveCtrl:
 		return fmt.Sprintf("@%d %s %s/%s[%d]", e.Step, e.Op, e.Node, e.Vol, e.Index)
+	case OpArchive, OpTotalFail, OpRollforward:
+		return fmt.Sprintf("@%d %s %s", e.Step, e.Op, e.Node)
 	default:
 		return fmt.Sprintf("@%d %s %s[%d]", e.Step, e.Op, e.Node, e.Index)
 	}
@@ -150,10 +164,40 @@ type genState struct {
 	linkUpAt map[string]int // "a-b" -> step the link heals / fault clears
 }
 
+// Shape selects a family of schedules to generate. All shapes derive the
+// cluster, workload and ordinary fault stream identically from the seed;
+// shapes differ only in whether the total-node-failure triple is woven
+// in (its plan comes from an independent sub-seeded stream).
+type Shape string
+
+// The schedule shapes.
+const (
+	// ShapeMixed is the default exploration mix: roughly one schedule in
+	// four carries a total-node-failure outage on top of the ordinary
+	// fault stream.
+	ShapeMixed Shape = "mixed"
+	// ShapeTotalFailure puts the archive → total failure → ROLLFORWARD
+	// triple in every schedule — the nightly soak shape for claim 6.
+	ShapeTotalFailure Shape = "total-failure"
+)
+
+// ParseShape validates a shape name from the CLI.
+func ParseShape(s string) (Shape, error) {
+	switch Shape(s) {
+	case ShapeMixed, ShapeTotalFailure:
+		return Shape(s), nil
+	default:
+		return "", fmt.Errorf("dst: unknown schedule shape %q (want mixed or total-failure)", s)
+	}
+}
+
 // Generate derives a complete schedule from one root seed. Same seed,
 // same schedule, byte for byte; different seeds vary the cluster shape,
 // workload mix, and fault composition.
-func Generate(seed int64) Schedule {
+func Generate(seed int64) Schedule { return GenerateShaped(seed, ShapeMixed) }
+
+// GenerateShaped is Generate with an explicit schedule shape.
+func GenerateShaped(seed int64, shape Shape) Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	spec := Spec{
 		Nodes:        2 + rng.Intn(2),
@@ -183,7 +227,42 @@ func Generate(seed int64) Schedule {
 		ctlUpAt:  map[string]int{},
 		linkUpAt: map[string]int{},
 	}
-	var events []Event
+	var events, outage []Event
+
+	// Total-node-failure plan, drawn from its own sub-seeded stream so the
+	// ordinary fault stream of a seed is identical across shapes.
+	outRng := rand.New(rand.NewSource(SubSeed(seed, "outage")))
+	if shape == ShapeTotalFailure || outRng.Intn(4) == 0 {
+		third := spec.Steps / 3
+		if third < 1 {
+			third = 1
+		}
+		node := NodeName(outRng.Intn(spec.Nodes))
+		archStep := 1 + outRng.Intn(third)
+		failStep := archStep + 1 + outRng.Intn(third)
+		if failStep > spec.Steps-2 {
+			failStep = spec.Steps - 2
+		}
+		recoverStep := failStep + 1
+		// Reserve the node for the outage: no ordinary fault touches its
+		// CPUs, buses, discs, or adjacent links until it has recovered, so
+		// the ROLLFORWARD peer negotiation always has a path to try.
+		busy := recoverStep + 1
+		st.cpuUpAt[node], st.busUpAt[node] = busy, busy
+		st.drvUpAt[node], st.ctlUpAt[node] = busy, busy
+		for i := 0; i < spec.Nodes-1; i++ {
+			a, b := NodeName(i), NodeName(i+1)
+			if a == node || b == node {
+				st.linkUpAt[a+"-"+b] = busy
+			}
+		}
+		outage = []Event{
+			{Step: archStep, Op: OpArchive, Node: node},
+			{Step: failStep, Op: OpTotalFail, Node: node},
+			{Step: recoverStep, Op: OpRollforward, Node: node},
+		}
+	}
+
 	for step := 0; step < spec.Steps; step++ {
 		n := 0
 		switch d := rng.Intn(10); {
@@ -197,10 +276,42 @@ func Generate(seed int64) Schedule {
 			events = append(events, genFault(rng, &spec, &st, step)...)
 		}
 	}
+	// The outage triple goes last in slice order so same-step heals from
+	// the ordinary stream apply before the ROLLFORWARD fires.
+	events = append(events, outage...)
 	// Stable by step: heals scheduled earlier sort before same-step
 	// faults, so a resource healed at step s can legally re-fault at s.
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Step < events[j].Step })
 	return Schedule{Seed: seed, Spec: spec, Events: events}
+}
+
+// WellFormed reports whether the event list keeps every total-failure
+// outage recoverable: each OpTotalFail must be preceded by an OpArchive
+// of the same node and followed by an OpRollforward of it, and each
+// OpRollforward needs a preceding OpArchive. The minimizer only explores
+// well-formed candidates — dropping a recovery but keeping the failure
+// "fails" every invariant for the dull reason that the node never came
+// back.
+func WellFormed(events []Event) bool {
+	archived := map[string]bool{}
+	needRecovery := map[string]bool{}
+	for _, ev := range events {
+		switch ev.Op {
+		case OpArchive:
+			archived[ev.Node] = true
+		case OpTotalFail:
+			if !archived[ev.Node] {
+				return false
+			}
+			needRecovery[ev.Node] = true
+		case OpRollforward:
+			if !archived[ev.Node] {
+				return false
+			}
+			delete(needRecovery, ev.Node)
+		}
+	}
+	return len(needRecovery) == 0
 }
 
 // genFault draws one fault (plus its scheduled heal) if the drawn target

@@ -30,6 +30,14 @@ func Minimize(s Schedule, fails func(Schedule) bool, maxRuns int, log io.Writer)
 		if runs >= maxRuns {
 			return false
 		}
+		// Never consider a schedule that tears the outage protocol apart —
+		// a total failure without its archive or without an eventual
+		// ROLLFORWARD is not a bug reproduction, it is a different (and
+		// trivially failing) scenario. Rejecting it without running keeps
+		// ddmin honest and costs nothing.
+		if !WellFormed(events) {
+			return false
+		}
 		runs++
 		cand := s
 		cand.Minimized = true

@@ -30,6 +30,7 @@ import (
 	"encompass/internal/audit"
 	"encompass/internal/expand"
 	"encompass/internal/hw"
+	"encompass/internal/rollforward"
 	"encompass/internal/workload"
 )
 
@@ -156,18 +157,19 @@ func runKeep(s Schedule, opt Options) (*Verdict, *encompass.System, *workload.Ba
 	}
 
 	v := &Verdict{Seed: s.Seed}
+	ap := NewApplier()
 	next := 0 // next unapplied event
 	for step := 0; step < spec.Steps; step++ {
 		for next < len(s.Events) && s.Events[next].Step <= step {
 			ev := s.Events[next]
 			next++
 			logf("  %s", ev)
-			Apply(sys, ev)
+			ap.Apply(sys, ev)
 			if isFault(ev.Op) {
 				v.Faults++
 			}
 		}
-		c, a, vol := runRound(sys, bank, &spec, step)
+		c, a, vol := runRound(sys, bank, &spec, step, ap)
 		v.Committed += c
 		v.Aborted += a
 		v.Voluntary += vol
@@ -175,15 +177,17 @@ func runKeep(s Schedule, opt Options) (*Verdict, *encompass.System, *workload.Ba
 	}
 	for ; next < len(s.Events); next++ {
 		logf("  %s", s.Events[next])
-		Apply(sys, s.Events[next])
+		ap.Apply(sys, s.Events[next])
 		if isFault(s.Events[next].Op) {
 			v.Faults++
 		}
 	}
+	ap.FinishOutages(sys)
 
 	HealEverything(sys)
 	OperatorSweep(sys)
-	v.Checks = runCheckers(sys, bank, &spec)
+	v.Checks = append([]CheckResult{{Name: "apply", Err: strings.Join(ap.Errs, "; ")}},
+		runCheckers(sys, bank, &spec)...)
 	logf("verdict: %s", v.Summary())
 	return v, sys, bank, nil
 }
@@ -204,11 +208,17 @@ func traceCapacity(spec *Spec) int {
 // pure function of (workload seed, node, step, worker), so reruns of the
 // same schedule issue the same logical transactions in the same
 // per-worker order.
-func runRound(sys *encompass.System, bank *workload.Bank, spec *Spec, step int) (committed, aborted, voluntary int) {
+func runRound(sys *encompass.System, bank *workload.Bank, spec *Spec, step int, ap *Applier) (committed, aborted, voluntary int) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for ni := 0; ni < spec.Nodes; ni++ {
 		node := NodeName(ni)
+		if ap.Down(node) {
+			// Requesters on a total-failed node do not run; the node's
+			// down-ness is schedule-determined, so skipping is
+			// deterministic.
+			continue
+		}
 		per := spec.TxPerStep / spec.Workers
 		extra := spec.TxPerStep % spec.Workers
 		for w := 0; w < spec.Workers; w++ {
@@ -259,12 +269,84 @@ func isFault(op Op) bool {
 	return false
 }
 
-// Apply performs one schedule event against a running system. It is
-// exported so the chaos tests can route their injectors through the same
-// event vocabulary.
+// Applier executes schedule events against a running system, carrying
+// the cross-event state the total-node-failure triple needs: the archive
+// taken by OpArchive (consumed by OpRollforward) and which nodes are
+// currently down in their entirety. Apply errors (a rollforward with no
+// archive, a recovery that failed) are collected in Errs and surfaced as
+// the run's "apply" check.
+type Applier struct {
+	archives map[string]*rollforward.Archive
+	down     map[string]bool
+	Errs     []string
+}
+
+// NewApplier returns an empty applier for one schedule execution.
+func NewApplier() *Applier {
+	return &Applier{
+		archives: make(map[string]*rollforward.Archive),
+		down:     make(map[string]bool),
+	}
+}
+
+// Down reports whether the node is total-failed and not yet recovered.
+func (ap *Applier) Down(node string) bool { return ap.down[node] }
+
+// Apply performs one schedule event.
+func (ap *Applier) Apply(sys *encompass.System, ev Event) {
+	n := sys.Node(ev.Node)
+	switch ev.Op {
+	case OpArchive:
+		ap.archives[ev.Node] = n.TakeArchive()
+	case OpTotalFail:
+		n.Crash()
+		ap.down[ev.Node] = true
+	case OpRollforward:
+		a := ap.archives[ev.Node]
+		if a == nil {
+			ap.Errs = append(ap.Errs, fmt.Sprintf("%s: rollforward without archive", ev.Node))
+			return
+		}
+		if !ap.down[ev.Node] {
+			// Recovering a live node means total-failing it first; a
+			// minimized schedule may have shed the explicit OpTotalFail.
+			n.Crash()
+		}
+		if _, err := n.Recover(a); err != nil {
+			ap.Errs = append(ap.Errs, fmt.Sprintf("%s: rollforward: %v", ev.Node, err))
+			return
+		}
+		ap.down[ev.Node] = false
+	default:
+		Apply(sys, ev)
+	}
+}
+
+// FinishOutages recovers any node still down after the last event — a
+// hand-edited or truncated schedule may end mid-outage; the invariant
+// audit needs every node back.
+func (ap *Applier) FinishOutages(sys *encompass.System) {
+	nodes := make([]string, 0, len(ap.down))
+	for name, d := range ap.down {
+		if d {
+			nodes = append(nodes, name)
+		}
+	}
+	sort.Strings(nodes)
+	for _, name := range nodes {
+		ap.Apply(sys, Event{Op: OpRollforward, Node: name})
+	}
+}
+
+// Apply performs one stateless schedule event against a running system.
+// It is exported so the chaos tests can route their injectors through the
+// same event vocabulary. The total-node-failure events carry state across
+// events and must go through an Applier.
 func Apply(sys *encompass.System, ev Event) {
 	n := sys.Node(ev.Node)
 	switch ev.Op {
+	case OpArchive, OpTotalFail, OpRollforward:
+		panic(fmt.Sprintf("dst: %s must be applied through an Applier", ev.Op))
 	case OpCrashCPU:
 		n.HW.FailCPU(ev.Index)
 	case OpReviveCPU:

@@ -69,7 +69,7 @@ func (f *fixture) recover(t *testing.T, a *Archive, r Resolver) Stats {
 }
 
 func (f *fixture) archive() *Archive {
-	return Take("home", map[string]*disk.Volume{"v1": f.vol}, map[string]*audit.Trail{"a1": f.trail})
+	return Take("home", map[string]*disk.Volume{"v1": f.vol}, map[string]*audit.Trail{"a1": f.trail}, f.mat)
 }
 
 func TestRecoverRedoesCommittedWork(t *testing.T) {
@@ -215,6 +215,89 @@ func TestArchiveIsolatedFromLiveVolume(t *testing.T) {
 	f.runTx(tx(2), []string{"a"}, "v2", true)
 	if string(arch.Snapshots["v1"]["data"]["a"]) != "v1" {
 		t.Error("archive aliased live volume")
+	}
+}
+
+func TestFuzzyArchiveUndoesLostLiveTransaction(t *testing.T) {
+	// A transaction is live (unresolved, images unforced) when the archive
+	// is copied: the snapshot carries its in-place update. The crash then
+	// destroys its unforced audit records, so no trail record can repair
+	// the dirt — only the archive's Undo set can.
+	f := newFixture()
+	f.runTx(tx(1), []string{"a"}, "clean", true)
+
+	f.trail.Append(audit.Image{Tx: tx(2), Volume: "v1", File: "data", Key: "a",
+		Kind: audit.ImageUpdate, Before: []byte("clean"), After: []byte("dirty")})
+	f.trail.Append(audit.Image{Tx: tx(2), Volume: "v1", File: "data", Key: "b",
+		Kind: audit.ImageInsert, After: []byte("dirty-insert")})
+	f.vol.Write("data", "a", []byte("dirty"))
+	f.vol.Write("data", "b", []byte("dirty-insert"))
+
+	arch := f.archive() // fuzzy: tx(2) live, its images unforced
+	f.trail.CrashLoseUnforced()
+
+	st := f.recover(t, arch, noNegotiation(t))
+	if st.UndoApplied != 2 {
+		t.Errorf("stats = %+v, want 2 undo records applied", st)
+	}
+	if got, _ := f.vol.Read("data", "a"); string(got) != "clean" {
+		t.Errorf("a = %q, want pre-transaction value restored", got)
+	}
+	if ok, _ := f.vol.Exists("data", "b"); ok {
+		t.Error("insert by lost live transaction survived recovery")
+	}
+}
+
+func TestFuzzyArchiveCoversLiveTransactionThatCommits(t *testing.T) {
+	// The same live-at-archive transaction instead commits before the
+	// crash: its records are forced, and the widened replay window must
+	// redo them over the Undo-reverted snapshot.
+	f := newFixture()
+	f.runTx(tx(1), []string{"a"}, "clean", true)
+
+	f.trail.Append(audit.Image{Tx: tx(2), Volume: "v1", File: "data", Key: "a",
+		Kind: audit.ImageUpdate, Before: []byte("clean"), After: []byte("final")})
+	f.vol.Write("data", "a", []byte("final"))
+
+	arch := f.archive() // tx(2) still unresolved
+	f.trail.ForceAll()
+	f.mat.Append(tx(2), audit.OutcomeCommitted)
+
+	f.trail.CrashLoseUnforced()
+	st := f.recover(t, arch, noNegotiation(t))
+	if got, _ := f.vol.Read("data", "a"); string(got) != "final" {
+		t.Errorf("a = %q, want committed value replayed (stats %+v)", got, st)
+	}
+}
+
+func TestReplayUndoesStraddlingAbort(t *testing.T) {
+	// A transaction's update lands in the snapshot, the transaction
+	// aborts *after* the archive (abort recorded in the MAT, images
+	// forced), and the backout itself is lost with the crash. The replay
+	// must apply the aborted transaction's first-write before-image.
+	f := newFixture()
+	f.runTx(tx(1), []string{"a"}, "clean", true)
+	arch := f.archive()
+
+	f.trail.Append(audit.Image{Tx: tx(2), Volume: "v1", File: "data", Key: "a",
+		Kind: audit.ImageUpdate, Before: []byte("clean"), After: []byte("dirty")})
+	f.trail.Append(audit.Image{Tx: tx(2), Volume: "v1", File: "data", Key: "a",
+		Kind: audit.ImageUpdate, Before: []byte("dirty"), After: []byte("dirtier")})
+	f.vol.Write("data", "a", []byte("dirtier"))
+	f.trail.ForceAll()
+	f.mat.Append(tx(2), audit.OutcomeAborted)
+
+	// Simulate the snapshot containing the dirt: wipe and restore happen
+	// inside Recover; here the "snapshot" is the pre-dirt state, so
+	// instead exercise the stream-undo path by NOT wiping — Recover's
+	// restore puts back "clean", replay sees tx(2) aborted and applies
+	// the first-write before-image "clean" (not the second's "dirty").
+	st := f.recover(t, arch, noNegotiation(t))
+	if got, _ := f.vol.Read("data", "a"); string(got) != "clean" {
+		t.Errorf("a = %q, want first-write before-image (stats %+v)", got, st)
+	}
+	if st.ImagesUndone != 1 {
+		t.Errorf("stats = %+v, want exactly one before-image applied", st)
 	}
 }
 

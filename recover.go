@@ -29,7 +29,7 @@ func (n *Node) TakeArchive() *rollforward.Archive {
 			}
 		}
 	}
-	return rollforward.Take(n.Name, vols, trails)
+	return rollforward.Take(n.Name, vols, trails, n.TMF.MonitorTrail())
 }
 
 // PurgeAuditTrails trims every audit trail below the replay position of
