@@ -38,7 +38,7 @@ lint: $(TMFLINT)
 # long soak stays race-free via the package run above, but is too slow
 # under -race).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/... ./internal/expand/... ./internal/pair/... ./internal/dst/... ./internal/rollforward/...
+	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/... ./internal/expand/... ./internal/pair/... ./internal/dst/... ./internal/rollforward/... ./internal/paxoscommit/...
 	$(GO) test -race -run TestChaosTraceOracle .
 
 # Fuzz smoke: a few seconds per target over the transid and message
@@ -113,9 +113,9 @@ bench:
 # DISCPROCESS ablation, DST explorer throughput, recovery time vs trail
 # length) as one JSON document stamped with the root seed and git
 # revision. Schema in EXPERIMENTS.md.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 bench-json:
-	$(GO) run ./cmd/tmfbench -exp T9,T10,T11,T12,T13 -json -out $(BENCH_OUT)
+	$(GO) run ./cmd/tmfbench -exp T9,T10,T11,T12,T13,T14 -json -out $(BENCH_OUT)
 
 experiments:
 	$(GO) run ./cmd/tmfbench -exp all

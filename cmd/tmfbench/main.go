@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tmfbench -exp all      # every experiment (default)
-//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T13 (claims)
+//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T14 (claims)
 //	tmfbench -exp T9,T10,T11                        # a comma-separated subset
 //	tmfbench -list         # list experiments
 //	tmfbench -exp T9 -fanout 4 -batchwindow 200us   # tune T9's knobs
@@ -50,6 +50,7 @@ var descriptions = []struct{ id, title string }{
 	{"T11", "multithreaded DISCPROCESS: conflict-aware intra-volume parallelism"},
 	{"T12", "DST explorer throughput: full fault schedules audited per second"},
 	{"T13", "ROLLFORWARD recovery time vs audit-trail length (streamed replay)"},
+	{"T14", "disposition under coordinator failure: blocking 2PC vs Paxos Commit (F=1)"},
 }
 
 // jsonDoc is the envelope written by -json; see EXPERIMENTS.md for the
@@ -79,7 +80,7 @@ func gitRevision() string {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: F1-F4, T1-T13, a comma-separated list, or all")
+	exp := flag.String("exp", "all", "experiments to run: F1-F4, T1-T14, a comma-separated list, or all")
 	list := flag.Bool("list", false, "list experiments and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of text tables (schema in EXPERIMENTS.md)")
 	out := flag.String("out", "", "write output to this file instead of stdout")
@@ -90,6 +91,7 @@ func main() {
 	discWorkers := flag.Int("discworkers", 0, "T11: DISCPROCESS worker-pool depth for the parallel runs (0 = the default depth)")
 	seed := flag.Int64("seed", experiments.T12Seed, "root seed for the seeded experiments (T12's first explored seed); stamped into -json output")
 	schedules := flag.Int("schedules", experiments.T12Schedules, "T12: number of DST schedules the throughput run explores")
+	window := flag.Duration("t14window", experiments.T14Window, "T14: how long the killed coordinator stays dead while the participant is probed")
 	flag.Parse()
 	experiments.T9Fanout = *fanout
 	experiments.T9BatchWindow = *batchWindow
@@ -98,6 +100,7 @@ func main() {
 	experiments.T11Workers = *discWorkers
 	experiments.T12Seed = *seed
 	experiments.T12Schedules = *schedules
+	experiments.T14Window = *window
 
 	if *list {
 		for _, d := range descriptions {

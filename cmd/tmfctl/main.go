@@ -17,10 +17,14 @@
 //
 // Subcommands view the same scenario through the observability layer:
 //
-//	tmfctl            run the manual-override walk-through
-//	tmfctl trace      dump the in-doubt transaction's lifecycle trace
-//	tmfctl trace <id> dump the trace of a specific transid (\home(cpu).seq)
-//	tmfctl metrics    print both nodes' counter/histogram registries
+//	tmfctl                  run the manual-override walk-through
+//	tmfctl trace            dump the in-doubt transaction's lifecycle trace
+//	tmfctl trace <id>       dump the trace of a specific transid (\home(cpu).seq)
+//	tmfctl disposition      each node's view of the scenario transaction's
+//	                        disposition: outcome, who decided it, and what the
+//	                        node still lists as in doubt
+//	tmfctl disposition <id> the same for a specific transid
+//	tmfctl metrics          print both nodes' counter/histogram registries
 //
 // The audit-integrity utility walks every audit trail's hash chain:
 //
@@ -54,6 +58,8 @@ func main() {
 		}
 	case "trace":
 		err = runTrace(args)
+	case "disposition":
+		err = runDisposition(args)
 	case "metrics":
 		err = runMetrics()
 	case "verify-trail":
@@ -71,7 +77,7 @@ func main() {
 }
 
 func usage(w *os.File) {
-	fmt.Fprintln(w, `usage: tmfctl [override | trace [transid] | metrics | verify-trail [-corrupt]]`)
+	fmt.Fprintln(w, `usage: tmfctl [override | trace [transid] | disposition [transid] | metrics | verify-trail [-corrupt]]`)
 }
 
 // runVerifyTrail replays the scenario, then walks the full hash chain of
@@ -162,6 +168,43 @@ func runTrace(args []string) error {
 	}
 	if !found {
 		return fmt.Errorf("no trace for %s on any node", id)
+	}
+	return nil
+}
+
+// runDisposition replays the scenario and prints each node's view of the
+// transaction's disposition — the paper's "TMF utility to determine the
+// disposition", step 1 of the manual override. For each node it reports
+// the configured protocol, the outcome, and who decided it (the node's
+// own Monitor Audit Trail, or — under a quorum protocol — the acceptor
+// that served the decision), plus anything the node still lists as in
+// doubt.
+func runDisposition(args []string) error {
+	sys, id, err := scenario(false)
+	if err != nil {
+		return err
+	}
+	if len(args) > 0 {
+		if id, err = txid.Parse(args[0]); err != nil {
+			return err
+		}
+	}
+	known := 0
+	for _, n := range sys.Nodes() {
+		fmt.Printf("--- node %s (protocol %s) ---\n", n.Name, n.TMF.ProtocolName())
+		o, decider, ok := n.TMF.Disposition(id)
+		if ok {
+			known++
+			fmt.Printf("%s: %s (decided by %s)\n", id, o, decider)
+		} else {
+			fmt.Printf("%s: disposition unknown on this node\n", id)
+		}
+		if doubt := n.TMF.InDoubt(); len(doubt) > 0 {
+			fmt.Printf("still in doubt here: %v\n", doubt)
+		}
+	}
+	if known == 0 {
+		return fmt.Errorf("no node knows the disposition of %s", id)
 	}
 	return nil
 }

@@ -109,6 +109,15 @@ type Config struct {
 	// EXPAND into its reliable-session mode. Per-link profiles can still
 	// be set afterwards via Network.SetLinkFault.
 	LinkFault expand.FaultProfile
+	// CommitProtocol selects the disposition protocol for distributed
+	// transactions on every node: tmf.ProtoAbbreviated (default — the
+	// paper's abbreviated 2PC), tmf.ProtoFull2PC (presumed-nothing 2PC
+	// with per-node decision logs), or tmf.ProtoPaxos (Paxos Commit,
+	// non-blocking under F failures). Must be uniform across the cluster.
+	CommitProtocol string
+	// CommitAcceptors is the Paxos Commit acceptor count per home node
+	// (2F+1, odd; 0 means 3).
+	CommitAcceptors int
 }
 
 // Volume bundles the running pieces serving one disc volume.
@@ -209,6 +218,8 @@ func buildNode(net *expand.Network, ns NodeSpec, cfg Config) (*Node, error) {
 		Registry:               reg,
 		Tracer:                 tracer,
 		StrictStateCheck:       cfg.StrictStateCheck,
+		CommitProtocol:         cfg.CommitProtocol,
+		CommitAcceptors:        cfg.CommitAcceptors,
 	})
 	if err != nil {
 		return nil, err

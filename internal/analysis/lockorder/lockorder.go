@@ -44,6 +44,24 @@ var rank = map[string]int{
 	// the reverse edge does not exist, so the ordering is acyclic.
 	"Monitor.mu":    110,
 	"Monitor.tabMu": 120,
+	// The in-doubt watcher set guard is leaf-like: armed/cleared from
+	// monitor paths after mu is released and never held across a call
+	// that locks mu or tabMu.
+	"Monitor.watchMu": 130,
+
+	// Disposition-protocol guards (internal/tmf): each protects only its
+	// own outcome/client cache and is never held across a Monitor lock.
+	"full2pcProto.mu": 140,
+	"paxosProto.mu":   145,
+
+	// internal/paxoscommit: the set guard orders before the per-slot
+	// acceptor guard (respawn scans the set, then locks one acceptor).
+	// The acceptor's DecisionLog does its own locking internally after
+	// acceptor.mu — log appends happen under the acceptor guard, which
+	// is safe because the log never calls back out.
+	"AcceptorSet.mu": 150,
+	"acceptor.mu":    160,
+	"DecisionLog.mu": 170,
 }
 
 // blessed are the canonical sorted-order helpers, exempt from rule 2

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"encompass/internal/expand"
+	"encompass/internal/tmf"
 )
 
 // Op names one fault-injection action in a schedule. Every fault Op has a
@@ -43,6 +44,19 @@ const (
 	OpArchive     Op = "archive"
 	OpTotalFail   Op = "total-fail"
 	OpRollforward Op = "rollforward"
+
+	// Phase-boundary fault points. Both arm a one-shot hook at the node's
+	// Monitor that fires between phase one and the commit record of the
+	// next distributed transaction END on that node — the paper's in-doubt
+	// window. OpPhase1Kill crashes CPU Index (the TMP primary, i.e. the
+	// commit coordinator) and parks the END caller there, dead, while the
+	// participants must reach the disposition on their own; under Paxos
+	// Commit the Applier records whether they did (the "nonblocking"
+	// check). OpPhase1Partition severs the Node-Peer link at the boundary
+	// instead, reproducing the in-doubt blocking window under any
+	// protocol; the matching OpHealLink heals it.
+	OpPhase1Kill      Op = "phase1-kill"
+	OpPhase1Partition Op = "phase1-partition"
 )
 
 // Event is one scheduled fault or heal. Step is the workload round before
@@ -61,7 +75,7 @@ type Event struct {
 // String renders the event compactly for logs and repro reports.
 func (e Event) String() string {
 	switch e.Op {
-	case OpFailLink, OpHealLink, OpClearFault:
+	case OpFailLink, OpHealLink, OpClearFault, OpPhase1Partition:
 		return fmt.Sprintf("@%d %s %s-%s", e.Step, e.Op, e.Node, e.Peer)
 	case OpLinkFault:
 		return fmt.Sprintf("@%d %s %s-%s loss=%.2f dup=%.2f reord=%.2f corr=%.2f seed=%d",
@@ -93,6 +107,10 @@ type Spec struct {
 	// explored mix.
 	AbortEvery   int   `json:"abort_every"`
 	WorkloadSeed int64 `json:"workload_seed"`
+	// CommitProtocol selects the cluster's disposition protocol (empty =
+	// the paper's abbreviated 2PC). The phase-boundary shapes set it; the
+	// default shapes leave it empty so their schedules are unchanged.
+	CommitProtocol string `json:"commit_protocol,omitempty"`
 }
 
 // Schedule is one complete deterministic test case: cluster shape, seeded
@@ -179,15 +197,25 @@ const (
 	// ShapeTotalFailure puts the archive → total failure → ROLLFORWARD
 	// triple in every schedule — the nightly soak shape for claim 6.
 	ShapeTotalFailure Shape = "total-failure"
+	// ShapeCoordKill runs the cluster under Paxos Commit and kills the
+	// commit coordinator (the TMP primary CPU) at the phase-one boundary
+	// of a distributed transaction, parking the END caller: the
+	// participants must reach the disposition through the acceptor quorum
+	// alone, audited by the "nonblocking" check.
+	ShapeCoordKill Shape = "coord-kill"
+	// ShapePhasePartition severs a link exactly at the phase-one boundary
+	// — the paper's in-doubt window — under a seed-rotated disposition
+	// protocol, so every protocol's in-doubt handling gets explored.
+	ShapePhasePartition Shape = "phase-partition"
 )
 
 // ParseShape validates a shape name from the CLI.
 func ParseShape(s string) (Shape, error) {
 	switch Shape(s) {
-	case ShapeMixed, ShapeTotalFailure:
+	case ShapeMixed, ShapeTotalFailure, ShapeCoordKill, ShapePhasePartition:
 		return Shape(s), nil
 	default:
-		return "", fmt.Errorf("dst: unknown schedule shape %q (want mixed or total-failure)", s)
+		return "", fmt.Errorf("dst: unknown schedule shape %q (want mixed, total-failure, coord-kill or phase-partition)", s)
 	}
 }
 
@@ -229,10 +257,51 @@ func GenerateShaped(seed int64, shape Shape) Schedule {
 	}
 	var events, outage []Event
 
+	// Phase-boundary plan, drawn from its own sub-seeded stream. The
+	// coord-kill shape reserves the victim node's CPUs for the whole run
+	// (a second CPU loss on the home node could legitimately break the
+	// 2F+1 acceptor quorum) and its adjacent links (a severed link is a
+	// reachability failure Paxos Commit does not promise to mask), so a
+	// "nonblocking" failure always means a protocol bug.
+	var phaseEvents []Event
+	if shape == ShapeCoordKill || shape == ShapePhasePartition {
+		phRng := rand.New(rand.NewSource(SubSeed(seed, "phase-boundary")))
+		step := 1 + phRng.Intn(spec.Steps-3)
+		switch shape {
+		case ShapeCoordKill:
+			spec.CommitProtocol = tmf.ProtoPaxos
+			node := NodeName(phRng.Intn(spec.Nodes))
+			st.cpuUpAt[node] = spec.Steps + 1
+			for i := 0; i < spec.Nodes-1; i++ {
+				a, b := NodeName(i), NodeName(i+1)
+				if a == node || b == node {
+					st.linkUpAt[a+"-"+b] = spec.Steps + 1
+				}
+			}
+			phaseEvents = []Event{
+				{Step: step, Op: OpPhase1Kill, Node: node, Index: 0},
+				{Step: step + 2, Op: OpReviveCPU, Node: node, Index: 0},
+			}
+		case ShapePhasePartition:
+			protos := []string{tmf.ProtoAbbreviated, tmf.ProtoFull2PC, tmf.ProtoPaxos}
+			spec.CommitProtocol = protos[phRng.Intn(len(protos))]
+			li := phRng.Intn(spec.Nodes - 1)
+			a, b := NodeName(li), NodeName(li+1)
+			healAt := step + 1 + phRng.Intn(2)
+			st.linkUpAt[a+"-"+b] = healAt
+			phaseEvents = []Event{
+				{Step: step, Op: OpPhase1Partition, Node: a, Peer: b},
+				{Step: healAt, Op: OpHealLink, Node: a, Peer: b},
+			}
+		}
+	}
+
 	// Total-node-failure plan, drawn from its own sub-seeded stream so the
-	// ordinary fault stream of a seed is identical across shapes.
+	// ordinary fault stream of a seed is identical across shapes. The
+	// phase-boundary shapes skip the outage: a total failure of the kill
+	// victim would retire the acceptor quorum the shape is auditing.
 	outRng := rand.New(rand.NewSource(SubSeed(seed, "outage")))
-	if shape == ShapeTotalFailure || outRng.Intn(4) == 0 {
+	if shape == ShapeTotalFailure || (shape == ShapeMixed && outRng.Intn(4) == 0) {
 		third := spec.Steps / 3
 		if third < 1 {
 			third = 1
@@ -278,6 +347,7 @@ func GenerateShaped(seed int64, shape Shape) Schedule {
 	}
 	// The outage triple goes last in slice order so same-step heals from
 	// the ordinary stream apply before the ROLLFORWARD fires.
+	events = append(events, phaseEvents...)
 	events = append(events, outage...)
 	// Stable by step: heals scheduled earlier sort before same-step
 	// faults, so a resource healed at step s can legally re-fault at s.

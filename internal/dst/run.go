@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"encompass"
@@ -31,6 +32,8 @@ import (
 	"encompass/internal/expand"
 	"encompass/internal/hw"
 	"encompass/internal/rollforward"
+	"encompass/internal/tmf"
+	"encompass/internal/txid"
 	"encompass/internal/workload"
 )
 
@@ -123,7 +126,7 @@ func runKeep(s Schedule, opt Options) (*Verdict, *encompass.System, *workload.Ba
 		}
 	}
 	spec := s.Spec
-	cfg := encompass.Config{TraceCapacity: traceCapacity(&spec)}
+	cfg := encompass.Config{TraceCapacity: traceCapacity(&spec), CommitProtocol: spec.CommitProtocol}
 	for i := 0; i < spec.Nodes; i++ {
 		cfg.Nodes = append(cfg.Nodes, encompass.NodeSpec{
 			Name: NodeName(i), CPUs: spec.CPUs,
@@ -183,11 +186,18 @@ func runKeep(s Schedule, opt Options) (*Verdict, *encompass.System, *workload.Ba
 		}
 	}
 	ap.FinishOutages(sys)
+	ap.DisarmHooks(sys)
 
 	HealEverything(sys)
 	OperatorSweep(sys)
 	v.Checks = append([]CheckResult{{Name: "apply", Err: strings.Join(ap.Errs, "; ")}},
 		runCheckers(sys, bank, &spec)...)
+	if spec.CommitProtocol == tmf.ProtoPaxos {
+		// The non-blocking claim, recorded by the phase-one kill hooks
+		// while the coordinator was actually dead (not after the heal).
+		v.Checks = append(v.Checks, CheckResult{Name: "nonblocking", Err: strings.Join(ap.NonBlockingErrs(), "; ")})
+		logf("phase1-kill hooks fired on %d coordinator(s)", ap.NBKills())
+	}
 	logf("verdict: %s", v.Summary())
 	return v, sys, bank, nil
 }
@@ -263,7 +273,8 @@ func runRound(sys *encompass.System, bank *workload.Bank, spec *Spec, step int, 
 // fault counter.
 func isFault(op Op) bool {
 	switch op {
-	case OpCrashCPU, OpFailBus, OpFailLink, OpLinkFault, OpFailDrive, OpFailCtrl:
+	case OpCrashCPU, OpFailBus, OpFailLink, OpLinkFault, OpFailDrive, OpFailCtrl,
+		OpPhase1Kill, OpPhase1Partition:
 		return true
 	}
 	return false
@@ -279,6 +290,12 @@ type Applier struct {
 	archives map[string]*rollforward.Archive
 	down     map[string]bool
 	Errs     []string
+
+	// nbMu guards the non-blocking audit trail written by OpPhase1Kill
+	// hooks, which run on workload END goroutines.
+	nbMu    sync.Mutex
+	nbErrs  []string
+	nbKills int
 }
 
 // NewApplier returns an empty applier for one schedule execution.
@@ -287,6 +304,25 @@ func NewApplier() *Applier {
 		archives: make(map[string]*rollforward.Archive),
 		down:     make(map[string]bool),
 	}
+}
+
+// NonBlockingErrs returns the failures the phase-one kill hooks recorded:
+// participants that stayed in doubt for the whole parked-coordinator
+// window. Empty means every killed coordinator's participants resolved
+// while it was dead (or no kill hook fired on a distributed transaction).
+func (ap *Applier) NonBlockingErrs() []string {
+	ap.nbMu.Lock()
+	defer ap.nbMu.Unlock()
+	return append([]string(nil), ap.nbErrs...)
+}
+
+// NBKills reports how many phase-one kill hooks actually crashed a
+// coordinator mid-END (zero means the schedule's kill window saw only
+// local-only transactions).
+func (ap *Applier) NBKills() int {
+	ap.nbMu.Lock()
+	defer ap.nbMu.Unlock()
+	return ap.nbKills
 }
 
 // Down reports whether the node is total-failed and not yet recovered.
@@ -317,8 +353,120 @@ func (ap *Applier) Apply(sys *encompass.System, ev Event) {
 			return
 		}
 		ap.down[ev.Node] = false
+	case OpPhase1Kill:
+		ap.armPhase1Kill(sys, ev)
+	case OpPhase1Partition:
+		ap.armPhase1Partition(sys, ev)
 	default:
 		Apply(sys, ev)
+	}
+}
+
+// inDoubtAt reports whether node p currently lists tx among its in-doubt
+// transactions (phase one acknowledged, disposition unknown).
+func inDoubtAt(p *encompass.Node, tx txid.ID) bool {
+	for _, id := range p.TMF.InDoubt() {
+		if id == tx {
+			return true
+		}
+	}
+	return false
+}
+
+// armPhase1Kill installs the coordinator-kill hook on the node's Monitor.
+// The hook fires between phase one and the commit record of an END on the
+// node; it waits for an END whose transaction has remote in-doubt
+// participants (a local-only END passes through), then — once — crashes
+// the coordinator CPU and parks the END caller there, dead. While parked
+// it polls the participants: under a non-blocking protocol they must all
+// learn the disposition from the acceptor quorum within the window, and a
+// participant still in doubt when the window closes is recorded as a
+// "nonblocking" failure. The poll counts sleep ticks, not wall-clock, so
+// the window is schedule-deterministic at step granularity.
+func (ap *Applier) armPhase1Kill(sys *encompass.System, ev Event) {
+	n := sys.Node(ev.Node)
+	var fired atomic.Bool
+	n.TMF.SetPhase1Hook(func(tx txid.ID) {
+		if fired.Load() {
+			return
+		}
+		var participants []*encompass.Node
+		for _, p := range sys.Nodes() {
+			if p.Name != ev.Node && inDoubtAt(p, tx) {
+				participants = append(participants, p)
+			}
+		}
+		if len(participants) == 0 {
+			return // local-only END: keep the one-shot for a distributed one
+		}
+		if !fired.CompareAndSwap(false, true) {
+			return
+		}
+		n.TMF.SetPhase1Hook(nil)
+		n.HW.FailCPU(ev.Index)
+		ap.nbMu.Lock()
+		ap.nbKills++
+		ap.nbMu.Unlock()
+		for tick := 0; tick < 100; tick++ {
+			blocked := 0
+			for _, p := range participants {
+				if inDoubtAt(p, tx) {
+					blocked++
+				}
+			}
+			if blocked == 0 {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		names := make([]string, len(participants))
+		for i, p := range participants {
+			names[i] = p.Name
+		}
+		ap.nbMu.Lock()
+		ap.nbErrs = append(ap.nbErrs, fmt.Sprintf(
+			"%s: participants %v still in doubt after the coordinator on %s stayed dead for the whole window",
+			tx, names, ev.Node))
+		ap.nbMu.Unlock()
+	})
+}
+
+// armPhase1Partition installs the in-doubt-window partition hook: the
+// next distributed END on the node has its Node-Peer link severed between
+// phase one and the commit record — the exact window the paper's manual
+// override discussion is about. The schedule's matching OpHealLink (or
+// the end-of-run heal) restores it.
+func (ap *Applier) armPhase1Partition(sys *encompass.System, ev Event) {
+	n := sys.Node(ev.Node)
+	var fired atomic.Bool
+	n.TMF.SetPhase1Hook(func(tx txid.ID) {
+		if fired.Load() {
+			return
+		}
+		remote := false
+		for _, p := range sys.Nodes() {
+			if p.Name != ev.Node && inDoubtAt(p, tx) {
+				remote = true
+				break
+			}
+		}
+		if !remote {
+			return
+		}
+		if !fired.CompareAndSwap(false, true) {
+			return
+		}
+		n.TMF.SetPhase1Hook(nil)
+		sys.Network.FailLink(ev.Node, ev.Peer)
+	})
+}
+
+// DisarmHooks clears any phase-boundary hook that never found a
+// distributed transaction to fire on, so the post-run audit workload
+// (the liveness check) cannot trip it.
+func (ap *Applier) DisarmHooks(sys *encompass.System) {
+	for _, n := range sys.Nodes() {
+		n.TMF.SetPhase1Hook(nil)
 	}
 }
 
@@ -345,7 +493,7 @@ func (ap *Applier) FinishOutages(sys *encompass.System) {
 func Apply(sys *encompass.System, ev Event) {
 	n := sys.Node(ev.Node)
 	switch ev.Op {
-	case OpArchive, OpTotalFail, OpRollforward:
+	case OpArchive, OpTotalFail, OpRollforward, OpPhase1Kill, OpPhase1Partition:
 		panic(fmt.Sprintf("dst: %s must be applied through an Applier", ev.Op))
 	case OpCrashCPU:
 		n.HW.FailCPU(ev.Index)

@@ -80,7 +80,7 @@ func (r *Report) String() string {
 func All() []*Report {
 	reports := []*Report{
 		F1(), F2(), F3(), F4(),
-		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), T11(), T12(), T13(),
+		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), T11(), T12(), T13(), T14(),
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
 	return reports
@@ -137,8 +137,10 @@ func Run(id string) ([]*Report, error) {
 		return []*Report{T12()}, nil
 	case "T13":
 		return []*Report{T13()}, nil
+	case "T14":
+		return []*Report{T14()}, nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T13, all)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T14, all)", id)
 	}
 }
 

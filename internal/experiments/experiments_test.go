@@ -43,6 +43,12 @@ func TestT8(t *testing.T) {
 	check(t, T8())
 }
 func TestT9(t *testing.T) { check(t, T9()) }
+func TestT14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three dead-coordinator windows of wall-clock waiting")
+	}
+	check(t, T14())
+}
 
 func TestRunDispatch(t *testing.T) {
 	if _, err := Run("bogus"); err == nil {

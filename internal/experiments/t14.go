@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"encompass"
+	"encompass/internal/tmf"
+	"encompass/internal/txid"
+)
+
+// T14Window is how long the killed coordinator stays dead while the
+// participant is probed, settable from cmd/tmfbench for quick runs. It
+// must exceed the in-doubt watcher's first few probe delays (120ms base,
+// doubling) or Paxos Commit cannot demonstrate resolution inside it.
+var T14Window = 1200 * time.Millisecond
+
+const (
+	t14HealthyTxs   = 20
+	t14LockTimeout  = 150 * time.Millisecond
+	t14PollInterval = 10 * time.Millisecond
+)
+
+// T14 measures disposition-protocol behaviour when the coordinator dies
+// in the in-doubt window: after every participant has acknowledged phase
+// one but before the commit record is written. The paper's abbreviated
+// protocol (and full presumed-nothing 2PC) leaves participants in doubt,
+// holding locks, until an operator intervenes; Paxos Commit's acceptor
+// quorum lets participants learn the disposition with the coordinator
+// still dead. Each protocol runs twice: a healthy pass timing the
+// protocol's per-commit cost, and a kill pass where a phase-one hook
+// crashes the coordinator CPU and parks the END mid-protocol while the
+// participant is watched for resolution and probed for lock availability.
+func T14() *Report {
+	r := &Report{
+		ID:    "T14",
+		Title: "disposition under coordinator failure: blocking 2PC vs Paxos Commit (F=1)",
+		Columns: []string{
+			"protocol", "healthy/commit", "resolved while dead", "resolve latency", "in-doubt at end", "participant lock",
+		},
+		Notes: []string{
+			fmt.Sprintf("coordinator CPU killed between phase one and the commit record; window %s, participant lock probe timeout %s", T14Window, t14LockTimeout),
+			"pass bound: Paxos participants reach the disposition and release locks while the coordinator is dead; abbreviated 2PC participants stay in doubt holding locks",
+		},
+		Metrics: map[string]float64{},
+	}
+	type protoCase struct {
+		name      string
+		acceptors int
+	}
+	cases := []protoCase{
+		{tmf.ProtoAbbreviated, 0},
+		{tmf.ProtoFull2PC, 0},
+		{tmf.ProtoPaxos, 3},
+	}
+	results := map[string]*t14Kill{}
+	for _, pc := range cases {
+		healthy, err := t14Healthy(pc.name, pc.acceptors)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s healthy run: %v", pc.name, err))
+			return r
+		}
+		k, err := t14KillRun(pc.name, pc.acceptors)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s kill run: %v", pc.name, err))
+			return r
+		}
+		results[pc.name] = k
+
+		resolved, latency := "no (blocked)", "> "+T14Window.String()
+		if k.resolved {
+			resolved = "yes"
+			latency = dur(k.resolveLatency)
+		}
+		lock := fmt.Sprintf("HELD (wait %s)", dur(k.lockWait))
+		if k.lockAvailable {
+			lock = fmt.Sprintf("available (%s)", dur(k.lockWait))
+		}
+		r.Rows = append(r.Rows, []string{
+			pc.name, dur(healthy), resolved, latency, i2s(k.inDoubtAtEnd), lock,
+		})
+
+		prefix := "t14." + pc.name + "."
+		r.Metrics[prefix+"healthy_per_commit_ns"] = float64(healthy)
+		r.Metrics[prefix+"resolved"] = b2f(k.resolved)
+		r.Metrics[prefix+"resolve_ns"] = float64(k.resolveLatency)
+		r.Metrics[prefix+"indoubt_at_window_end"] = float64(k.inDoubtAtEnd)
+		r.Metrics[prefix+"lock_available"] = b2f(k.lockAvailable)
+		r.Metrics[prefix+"lock_wait_ns"] = float64(k.lockWait)
+		r.Notes = append(r.Notes, fmt.Sprintf("%s: coordinator outcome after revival: %s", pc.name, k.finalOutcome))
+	}
+
+	ab, px := results[tmf.ProtoAbbreviated], results[tmf.ProtoPaxos]
+	r.Pass = px != nil && ab != nil &&
+		px.resolved && px.inDoubtAtEnd == 0 && px.lockAvailable &&
+		!ab.resolved && ab.inDoubtAtEnd > 0 && !ab.lockAvailable
+	return r
+}
+
+// t14Build assembles the two-node cluster: a (coordinator home) and b
+// (participant), one audited volume and one key-sequenced file each.
+func t14Build(proto string, acceptors int) (*encompass.System, error) {
+	sys, err := encompass.Build(encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "a", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "va", Audited: true, CacheSize: 1024}}},
+			{Name: "b", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "vb", Audited: true, CacheSize: 1024}}},
+		},
+		CommitProtocol:  proto,
+		CommitAcceptors: acceptors,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range []struct{ file, node, vol string }{{"fa", "a", "va"}, {"fb", "b", "vb"}} {
+		if err := sys.CreateFileEverywhere(encompass.LocalFile(f.file, encompass.KeySequenced, f.node, f.vol)); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// t14Healthy times t14HealthyTxs distributed commits (one record on each
+// node per transaction) and returns the per-commit latency.
+func t14Healthy(proto string, acceptors int) (time.Duration, error) {
+	sys, err := t14Build(proto, acceptors)
+	if err != nil {
+		return 0, err
+	}
+	home := sys.Node("a")
+	start := time.Now()
+	for i := 0; i < t14HealthyTxs; i++ {
+		tx, err := home.Begin()
+		if err != nil {
+			return 0, err
+		}
+		key := fmt.Sprintf("k%04d", i)
+		if err := tx.Insert("fa", key, []byte("v")); err != nil {
+			return 0, err
+		}
+		if err := tx.Insert("fb", key, []byte("v")); err != nil {
+			return 0, err
+		}
+		if err := tx.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / t14HealthyTxs, nil
+}
+
+// t14Kill carries one protocol's coordinator-kill measurements.
+type t14Kill struct {
+	resolved       bool          // participant reached the disposition while the coordinator was dead
+	resolveLatency time.Duration // kill -> participant's in-doubt set drained
+	inDoubtAtEnd   int           // participant transactions still in doubt when the window closed
+	lockAvailable  bool          // a fresh participant transaction could lock the contested record
+	lockWait       time.Duration // how long the lock probe waited (≈ t14LockTimeout when blocked)
+	finalOutcome   string        // coordinator's disposition after the END resumed
+}
+
+// t14KillRun drives one distributed transaction into the in-doubt window,
+// kills the coordinator CPU there, and measures the participant while the
+// coordinator stays dead.
+func t14KillRun(proto string, acceptors int) (*t14Kill, error) {
+	sys, err := t14Build(proto, acceptors)
+	if err != nil {
+		return nil, err
+	}
+	a, b := sys.Node("a"), sys.Node("b")
+	b.FS.LockTimeout = t14LockTimeout
+
+	tx, err := a.Begin()
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.Insert("fa", "hot", []byte("v0")); err != nil {
+		return nil, err
+	}
+	if err := tx.Insert("fb", "hot", []byte("v0")); err != nil {
+		return nil, err
+	}
+
+	// The hook fires with every participant phase-one-acked and no commit
+	// record written: the exact window the paper's operator-override
+	// discussion is about. Kill the coordinator CPU and park the END.
+	killed := make(chan time.Time, 1)
+	park := make(chan struct{})
+	a.TMF.SetPhase1Hook(func(txid.ID) {
+		a.TMF.SetPhase1Hook(nil)
+		a.HW.FailCPU(0)
+		killed <- time.Now()
+		<-park
+	})
+	commitErr := make(chan error, 1)
+	go func() { commitErr <- tx.Commit() }()
+
+	var killedAt time.Time
+	select {
+	case killedAt = <-killed:
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("phase-one hook never fired")
+	}
+
+	// Watch the participant while the coordinator is dead.
+	k := &t14Kill{}
+	deadline := killedAt.Add(T14Window)
+	for {
+		if len(b.TMF.InDoubt()) == 0 {
+			k.resolved = true
+			k.resolveLatency = time.Since(killedAt)
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(t14PollInterval)
+	}
+	k.inDoubtAtEnd = len(b.TMF.InDoubt())
+
+	// Lock probe, still with the coordinator dead: can a fresh local
+	// transaction on the participant lock the record the distributed
+	// transaction wrote?
+	probe, err := b.Begin()
+	if err != nil {
+		return nil, err
+	}
+	probeStart := time.Now()
+	_, perr := probe.ReadLock("fb", "hot")
+	k.lockWait = time.Since(probeStart)
+	k.lockAvailable = perr == nil
+	probe.Abort("t14 lock probe")
+
+	// Revive the world, let the parked END resume, and record the
+	// coordinator's final disposition so divergence would be visible.
+	close(park)
+	if err := <-commitErr; err != nil {
+		k.finalOutcome = "END error: " + err.Error()
+	} else {
+		k.finalOutcome = a.TMF.State(tx.ID).String()
+	}
+	return k, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

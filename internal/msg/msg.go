@@ -41,6 +41,12 @@ var (
 // an init function of the package that defines it.
 func RegisterPayload(v any) { gob.Register(v) }
 
+// RegisterPayloadName registers a payload type under an explicit,
+// package-path-independent wire name. Protocols whose frames may be
+// replayed or inspected across refactors (the commit-acceptor messages)
+// register this way so the wire format does not encode Go package paths.
+func RegisterPayloadName(name string, v any) { gob.RegisterName(name, v) }
+
 // Marshal encodes a message into the gob wire frame used for inter-node
 // traffic. Payload types must have been registered via RegisterPayload.
 func Marshal(m Message) ([]byte, error) {

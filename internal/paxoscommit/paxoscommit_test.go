@@ -1,0 +1,239 @@
+package paxoscommit
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"encompass/internal/audit"
+	"encompass/internal/hw"
+	"encompass/internal/msg"
+	"encompass/internal/txid"
+)
+
+// acceptorHost builds one node running n acceptors and returns a client
+// for them. The client addresses the node by name, which the message
+// system routes locally.
+func acceptorHost(t *testing.T, n int) (*hw.Node, *msg.System, *AcceptorSet, *Client) {
+	t.Helper()
+	node, err := hw.NewNode("h", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := msg.NewSystem(node)
+	set, err := Start(sys, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node, sys, set, NewClient(sys, "h", n)
+}
+
+func tx(seq uint64) txid.ID { return txid.ID{Home: "h", CPU: 0, Seq: seq} }
+
+func TestBallot0FastPathCommits(t *testing.T) {
+	_, _, set, c := acceptorHost(t, 3)
+	id := tx(1)
+	for _, inst := range []string{"h", "remote"} {
+		if err := c.Join(id, inst); err != nil {
+			t.Fatalf("join %s: %v", inst, err)
+		}
+		if err := c.Vote(id, inst, true); err != nil {
+			t.Fatalf("vote %s: %v", inst, err)
+		}
+	}
+	o, decider, err := c.Learn(id)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if o != audit.OutcomeCommitted {
+		t.Fatalf("outcome = %v (%s), want committed", o, decider)
+	}
+	// Recording the outcome makes later learns one-round-trip.
+	c.RecordOutcome(id, audit.OutcomeCommitted)
+	if o, decider, err = c.Learn(id); err != nil || o != audit.OutcomeCommitted {
+		t.Fatalf("Learn after record = %v, %v", o, err)
+	} else if decider == "" {
+		t.Error("empty decider")
+	}
+	// Every acceptor's decision log verifies.
+	for _, l := range set.Logs() {
+		if n, err := l.VerifyChain(); err != nil {
+			t.Errorf("%s: verified %d then: %v", l.Name(), n, err)
+		}
+	}
+}
+
+func TestAbortedVoteDecidesAbort(t *testing.T) {
+	_, _, _, c := acceptorHost(t, 3)
+	id := tx(2)
+	c.Join(id, "h")
+	c.Join(id, "remote")
+	c.Vote(id, "h", true)
+	if err := c.Vote(id, "remote", false); err != nil {
+		t.Fatalf("aborted vote: %v", err)
+	}
+	o, _, err := c.Learn(id)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if o != audit.OutcomeAborted {
+		t.Fatalf("outcome = %v, want aborted", o)
+	}
+}
+
+func TestRecoveryAbortsFreeInstance(t *testing.T) {
+	// One participant voted Prepared; the other's vote never arrived (its
+	// node died). A recovery ballot must drive the free instance to
+	// Aborted and decide the transaction Aborted.
+	_, _, _, c := acceptorHost(t, 3)
+	id := tx(3)
+	c.Join(id, "h")
+	c.Join(id, "remote")
+	c.Vote(id, "h", true)
+	if _, _, err := c.Learn(id); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Learn before recovery = %v, want ErrUnknown", err)
+	}
+	o, decider, err := c.Resolve(id)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if o != audit.OutcomeAborted {
+		t.Fatalf("outcome = %v (%s), want aborted", o, decider)
+	}
+	// The resolution is durable: a fresh learn answers immediately, and
+	// h's chosen Prepared vote was preserved, not overwritten.
+	if o, _, err = c.Learn(id); err != nil || o != audit.OutcomeAborted {
+		t.Fatalf("Learn after resolve = %v, %v", o, err)
+	}
+}
+
+func TestResolvePreservesChosenCommit(t *testing.T) {
+	// Every instance voted Prepared at ballot 0 but the coordinator died
+	// before recording the outcome. A resolver must learn Committed — it
+	// can never decide differently from a chosen value.
+	_, _, _, c := acceptorHost(t, 3)
+	id := tx(4)
+	for _, inst := range []string{"h", "r1", "r2"} {
+		c.Join(id, inst)
+		c.Vote(id, inst, true)
+	}
+	o, _, err := c.Resolve(id)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if o != audit.OutcomeCommitted {
+		t.Fatalf("outcome = %v, want committed", o)
+	}
+}
+
+func TestUnknownTransactionNotDecided(t *testing.T) {
+	// No acceptor has heard of the transaction: deciding (vacuously
+	// committing) would be unsound; both learn and resolve must refuse.
+	_, _, _, c := acceptorHost(t, 3)
+	if _, _, err := c.Learn(tx(5)); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Learn = %v, want ErrUnknown", err)
+	}
+	if _, _, err := c.Resolve(tx(5)); err == nil {
+		t.Fatal("Resolve decided a transaction nobody joined")
+	}
+}
+
+func TestToleratesFAcceptorFailures(t *testing.T) {
+	// 2F+1 = 3 acceptors tolerate F = 1 failure: kill the CPU hosting
+	// slot 2 and the protocol must still join, vote, learn and resolve.
+	node, _, _, c := acceptorHost(t, 3)
+	if err := node.FailCPU(2); err != nil {
+		t.Fatal(err)
+	}
+	id := tx(6)
+	if err := c.Join(id, "h"); err != nil {
+		t.Fatalf("join with one acceptor down: %v", err)
+	}
+	if err := c.Vote(id, "h", true); err != nil {
+		t.Fatalf("vote with one acceptor down: %v", err)
+	}
+	o, _, err := c.Resolve(id)
+	if err != nil || o != audit.OutcomeCommitted {
+		t.Fatalf("resolve with one acceptor down = %v, %v", o, err)
+	}
+
+	// A second failure breaks the quorum: the client must report
+	// ErrNoQuorum, not decide.
+	if err := node.FailCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Vote(tx(7), "h", true); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("vote with two acceptors down = %v, want ErrNoQuorum", err)
+	}
+
+	// Reload: the acceptor set respawns the slots on the revived CPUs and
+	// the quorum recovers, remembering the earlier decision.
+	node.ReviveCPU(1)
+	node.ReviveCPU(2)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if o, _, err := c.Learn(id); err == nil && o == audit.OutcomeCommitted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("revived acceptors never served the recorded decision")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestConflictingBallot0VoteRejected(t *testing.T) {
+	// Two different values at one ballot would fork history; the acceptor
+	// must refuse the second rather than overwrite the first.
+	_, _, _, c := acceptorHost(t, 3)
+	id := tx(8)
+	c.Join(id, "h")
+	if err := c.Vote(id, "h", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Vote(id, "h", false); err == nil {
+		t.Fatal("conflicting ballot-0 vote accepted")
+	}
+	// Re-sending the same value is idempotent.
+	if err := c.Vote(id, "h", true); err != nil {
+		t.Fatalf("idempotent re-vote: %v", err)
+	}
+}
+
+func TestReplayFromLogsRestoresState(t *testing.T) {
+	// Decide a transaction, then hand the decision logs to a freshly
+	// started acceptor set (a recovered node): it must serve the same
+	// disposition from the replayed state.
+	_, _, set, c := acceptorHost(t, 3)
+	id := tx(9)
+	for _, inst := range []string{"h", "remote"} {
+		c.Join(id, inst)
+		c.Vote(id, inst, true)
+	}
+	c.RecordOutcome(id, audit.OutcomeCommitted)
+
+	node2, err := hw.NewNode("h", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := msg.NewSystem(node2)
+	if _, err := Start(sys2, 3, set.Logs()); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewClient(sys2, "h", 3)
+	o, decider, err := c2.Learn(id)
+	if err != nil || o != audit.OutcomeCommitted {
+		t.Fatalf("Learn after replay = %v (%s), %v", o, decider, err)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	node, _ := hw.NewNode("v", 2)
+	sys := msg.NewSystem(node)
+	if _, err := Start(sys, 0, nil); err == nil {
+		t.Error("Start with zero acceptors succeeded")
+	}
+	if _, err := Start(sys, 3, make([]*audit.DecisionLog, 2)); err == nil {
+		t.Error("Start with mismatched log count succeeded")
+	}
+}

@@ -83,6 +83,12 @@ func (m *Monitor) End(tx txid.ID) error {
 		}
 		return fmt.Errorf("%w: END of %s in state %s", ErrBadState, tx, st)
 	}
+	// A coordinator resuming after a stall must honor an abort the
+	// recovery path (or the operator) already recorded: the abort record
+	// in the MAT is final, exactly as the commit record is in abortLocked.
+	if o, ok := m.mat.OutcomeOf(tx); ok && o == audit.OutcomeAborted {
+		return fmt.Errorf("%w: %s (aborted while END was stalled)", ErrAborted, tx)
+	}
 
 	// END-TRANSACTION: the transaction accepts no further data-base work.
 	m.closeToNewWork(tx)
@@ -93,11 +99,36 @@ func (m *Monitor) End(tx txid.ID) error {
 		m.abortLocked(tx, fmt.Sprintf("phase one failed: %v", err))
 		return fmt.Errorf("%w: %s: phase one failed: %v", ErrAborted, tx, err)
 	}
+	// The home node's own Prepared vote: under Paxos Commit this is the
+	// last ballot-0 fast-path accept — after it succeeds, every instance
+	// of the transaction is chosen Prepared and no recovery ballot can
+	// decide anything but commit.
+	if m.protoActive(tx) {
+		if err := m.proto.VoteSelf(tx); err != nil {
+			m.abortLocked(tx, fmt.Sprintf("disposition vote failed: %v", err))
+			return fmt.Errorf("%w: %s: disposition vote failed: %v", ErrAborted, tx, err)
+		}
+	}
 	m.hPhase1.Observe(time.Since(p1Start))
-	if hook := m.phase1Hook; hook != nil {
+	if hp := m.phase1Hook.Load(); hp != nil {
 		// Fault-injection point between phase one and the commit record,
 		// used by the in-doubt experiments.
-		hook(tx)
+		(*hp)(tx)
+	}
+	// The disposition decision. Abbreviated 2PC decides by fiat (writing
+	// the commit record below IS the decision); the logged protocols run
+	// their decide step first and must be obeyed if a recovery ballot got
+	// there first with the opposite outcome.
+	if m.protoActive(tx) {
+		out, err := m.proto.Decide(tx, audit.OutcomeCommitted)
+		if err != nil {
+			m.abortLocked(tx, fmt.Sprintf("disposition decide failed: %v", err))
+			return fmt.Errorf("%w: %s: disposition decide failed: %v", ErrAborted, tx, err)
+		}
+		if out == audit.OutcomeAborted {
+			m.abortLocked(tx, "disposition protocol decided abort")
+			return fmt.Errorf("%w: %s: disposition protocol decided abort", ErrAborted, tx)
+		}
 	}
 	// Commit point: the commit record in the Monitor Audit Trail. The
 	// committed counter moves with the record (recordOutcome), so Stats
@@ -308,6 +339,26 @@ func (m *Monitor) abortLocked(tx txid.ID, reason string) {
 	// processor may be stale and report the transaction unknown).
 	if o, ok := m.mat.OutcomeOf(tx); ok && o == audit.OutcomeCommitted {
 		return
+	}
+	// A home-node abort of a transaction that entered a logged disposition
+	// protocol must run the protocol's decide step: a recovery ballot may
+	// already have chosen Commit (every participant's vote landed before
+	// the coordinator stalled), in which case aborting here would diverge
+	// from what the rest of the network has learned. An unreachable
+	// decision quorum falls through to the local abort — availability over
+	// waiting, matching the paper's manual-override semantics — with the
+	// failure recorded in the abort reason.
+	m.mu.Lock()
+	tt, known := m.txs[tx]
+	decideViaProto := known && tt.isHome && tt.protoBegun
+	m.mu.Unlock()
+	if decideViaProto {
+		if out, derr := m.proto.Decide(tx, audit.OutcomeAborted); derr == nil && out == audit.OutcomeCommitted {
+			m.applyEndedLocked(tx)
+			return
+		} else if derr != nil {
+			reason = fmt.Sprintf("%s (decision quorum unavailable: %v)", reason, derr)
+		}
 	}
 	m.closeToNewWork(tx)
 	m.broadcast(tx, txid.StateAborting)

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"encompass/internal/audit"
@@ -34,6 +35,7 @@ import (
 	"encompass/internal/hw"
 	"encompass/internal/msg"
 	"encompass/internal/obs"
+	"encompass/internal/paxoscommit"
 	"encompass/internal/txid"
 )
 
@@ -72,6 +74,10 @@ type tcb struct {
 	localVols map[string]bool // participating volumes on this node
 
 	phase1Acked bool // non-home: we replied affirmatively to phase one
+	// protoBegun: the transaction entered the disposition protocol on this
+	// node (its instances are registered with the decision infrastructure).
+	// Never set under the abbreviated protocol.
+	protoBegun  bool
 	abortReason string
 
 	// beginAt anchors the begin→ENDED latency histogram.
@@ -166,16 +172,34 @@ type Monitor struct {
 	tmpPair *tmpApp
 	tmpCPU  func() int
 
+	// proto is the pluggable disposition protocol (abbreviated 2PC, full
+	// presumed-nothing 2PC, or Paxos Commit); acceptors is the node's
+	// commit-acceptor set under Paxos (nil otherwise).
+	proto     DispositionProtocol
+	acceptors *paxoscommit.AcceptorSet
+
+	// watchMu guards the set of armed in-doubt watchers (one per
+	// unresolved transaction under a non-blocking protocol).
+	watchMu  sync.Mutex
+	watchers map[txid.ID]bool
+
 	// phase1Hook, when set, runs between a successful phase one and the
 	// write of the commit record; fault-injection experiments use it to
-	// create in-doubt participants.
-	phase1Hook func(txid.ID)
+	// create in-doubt participants. Atomic: DST schedules install and
+	// clear one-shot hooks while commits are in flight.
+	phase1Hook atomic.Pointer[func(txid.ID)]
 }
 
 // SetPhase1Hook installs a fault-injection hook that runs after phase one
 // succeeds and before the commit record is written. Experiments use it to
-// partition the network at the in-doubt window.
-func (m *Monitor) SetPhase1Hook(fn func(txid.ID)) { m.phase1Hook = fn }
+// partition the network at the in-doubt window. Passing nil clears it.
+func (m *Monitor) SetPhase1Hook(fn func(txid.ID)) {
+	if fn == nil {
+		m.phase1Hook.Store(nil)
+		return
+	}
+	m.phase1Hook.Store(&fn)
+}
 
 // Config configures a Monitor.
 type Config struct {
@@ -208,6 +232,16 @@ type Config struct {
 	// assertion: an illegal state-change broadcast panics at emission.
 	// Violations are always counted and retained either way.
 	StrictStateCheck bool
+	// CommitProtocol selects the disposition protocol for distributed
+	// transactions: ProtoAbbreviated (default — the paper's abbreviated
+	// 2PC, byte-identical to the seed), ProtoFull2PC (presumed-nothing
+	// 2PC with per-node decision logs), or ProtoPaxos (Paxos Commit:
+	// non-blocking under F acceptor/coordinator failures).
+	CommitProtocol string
+	// CommitAcceptors is the Paxos Commit acceptor count, 2F+1 (odd;
+	// 0 means 3, tolerating one failure). One acceptor process runs per
+	// configured CPU of the home node (slot i on CPU i mod NumCPUs).
+	CommitAcceptors int
 }
 
 // New creates and starts the node's TMF monitor, including its TMP pair.
@@ -263,6 +297,11 @@ func New(cfg Config) (*Monitor, error) {
 			}
 		}
 	}
+	proto, err := newProtocol(m, cfg.CommitProtocol, cfg.CommitAcceptors)
+	if err != nil {
+		return nil, err
+	}
+	m.proto = proto
 	if err := m.startTMP(cfg.TMPPrimaryCPU, cfg.TMPBackupCPU); err != nil {
 		return nil, err
 	}

@@ -31,6 +31,12 @@ type testNode struct {
 // testCluster builds nodes connected in a line topology a-b-c-...
 func testCluster(t *testing.T, names ...string) (map[string]*testNode, *expand.Network) {
 	t.Helper()
+	return testClusterProto(t, "", 0, names...)
+}
+
+// testClusterProto is testCluster with an explicit disposition protocol.
+func testClusterProto(t *testing.T, proto string, acceptors int, names ...string) (map[string]*testNode, *expand.Network) {
+	t.Helper()
 	net := expand.NewNetwork(0)
 	nodes := make(map[string]*testNode)
 	for _, name := range names {
@@ -46,7 +52,8 @@ func testCluster(t *testing.T, names ...string) (map[string]*testNode, *expand.N
 		if _, err := audit.StartProcess(sys, "audit", 0, 1, tn.trail); err != nil {
 			t.Fatal(err)
 		}
-		tn.mon, err = New(Config{System: sys, Network: net, TMPPrimaryCPU: 0, TMPBackupCPU: 1})
+		tn.mon, err = New(Config{System: sys, Network: net, TMPPrimaryCPU: 0, TMPBackupCPU: 1,
+			CommitProtocol: proto, CommitAcceptors: acceptors})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -35,10 +35,15 @@ type tmpReq struct {
 }
 
 // QueryResp answers a disposition query (rollforward negotiation, tmfctl).
+// Protocol names the answering node's disposition protocol; Decider names
+// the evidence the answer rests on (the Monitor Audit Trail, an acceptor
+// quorum, a recovery ballot).
 type QueryResp struct {
 	Known     bool
 	Committed bool
 	State     txid.State
+	Protocol  string
+	Decider   string
 }
 
 // beginResp answers a remote-transaction-begin: AlreadyKnown tells the
@@ -85,10 +90,11 @@ func (a *tmpApp) Handle(ctx *pair.Ctx, req msg.Message) {
 		ctx.Reply(nil)
 	case kindQuery:
 		r := req.Payload.(tmpReq)
-		resp := QueryResp{State: a.m.State(r.Tx)}
-		if o, ok := a.m.Outcome(r.Tx); ok {
+		resp := QueryResp{State: a.m.State(r.Tx), Protocol: a.m.proto.Name()}
+		if o, decider, known := a.m.Disposition(r.Tx); known {
 			resp.Known = true
-			resp.Committed = o.String() == "committed"
+			resp.Committed = o == audit.OutcomeCommitted
+			resp.Decider = decider
 		}
 		ctx.Reply(resp)
 	default:
@@ -99,7 +105,36 @@ func (a *tmpApp) Handle(ctx *pair.Ctx, req msg.Message) {
 func (a *tmpApp) ApplyCheckpoint(any) {}
 func (a *tmpApp) Snapshot() any       { return nil }
 func (a *tmpApp) Restore(any)         {}
-func (a *tmpApp) TakeOver()           {}
+
+// TakeOver runs when the backup TMP is promoted after the primary's CPU
+// failed. Under a non-blocking protocol the promoted TMP re-arms an
+// in-doubt watcher for every transaction this node is still bound to
+// without a known disposition — the learner path resolves them from the
+// acceptor quorum even though the coordinator that was driving them may
+// have died with the failed CPU.
+func (a *tmpApp) TakeOver() {
+	m := a.m
+	if !m.proto.NonBlocking() {
+		return
+	}
+	var pending []txid.ID
+	m.mu.Lock()
+	for id, t := range m.txs {
+		if t.protoBegun || (!t.isHome && t.phase1Acked) {
+			pending = append(pending, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, id := range pending {
+		if _, resolved := m.mat.OutcomeOf(id); resolved {
+			continue
+		}
+		if m.State(id).Terminal() {
+			continue
+		}
+		m.armInDoubtWatcher(id)
+	}
+}
 
 func (m *Monitor) startTMP(primaryCPU, backupCPU int) error {
 	app := &tmpApp{m: m}
@@ -160,6 +195,19 @@ func (m *Monitor) NoteRemoteSend(tx txid.ID, destNode string) error {
 		return nil
 	}
 	m.mu.Unlock()
+	// Under a logged disposition protocol, the child's consensus instance
+	// (and our own) must be durably registered with the decision
+	// infrastructure BEFORE the transid is first transmitted: a recovery
+	// proposer discovers the participant set from the acceptors, and an
+	// unregistered participant would be invisible to it.
+	if m.proto.Name() != ProtoAbbreviated {
+		if err := m.ensureProtoBegun(tx); err != nil {
+			return err
+		}
+		if err := m.proto.Join(tx, destNode); err != nil {
+			return fmt.Errorf("%w: disposition join of %s: %v", ErrNodeUnreachable, destNode, err)
+		}
+	}
 	r, err := m.tmpCallResp(destNode, kindRemoteBegin, tmpReq{Tx: tx})
 	if err != nil {
 		return fmt.Errorf("%w: remote begin at %s: %v", ErrNodeUnreachable, destNode, err)
@@ -230,10 +278,26 @@ func (m *Monitor) phase1Inbound(tx txid.ID) error {
 		m.abortLocked(tx, fmt.Sprintf("phase one failed: %v", err))
 		return err
 	}
+	// Under a logged disposition protocol the affirmative reply is a vote
+	// and must be durable before it is sent: for Paxos Commit this is the
+	// ballot-0 fast path — the vote IS the phase-2a/2b of our consensus
+	// instance at the home node's acceptors. A vote that cannot reach a
+	// majority is a refusal: abort unilaterally while we still may.
+	if m.proto.Name() != ProtoAbbreviated {
+		if err := m.proto.VoteSelf(tx); err != nil {
+			m.abortLocked(tx, fmt.Sprintf("disposition vote failed: %v", err))
+			return fmt.Errorf("%w: %s: disposition vote failed on %s: %v", ErrAborted, tx, m.node, err)
+		}
+	}
 	m.hPhase1.Observe(time.Since(p1Start))
 	m.mu.Lock()
 	t.phase1Acked = true
+	t.protoBegun = t.protoBegun || m.proto.Name() != ProtoAbbreviated
 	m.mu.Unlock()
+	// In-doubt insurance: if the disposition never arrives (dead
+	// coordinator, partition), the watcher learns it from the acceptor
+	// quorum instead of holding locks until an operator intervenes.
+	m.armInDoubtWatcher(tx)
 	return nil
 }
 
