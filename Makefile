@@ -10,7 +10,7 @@ GO ?= go
 TMFLINT := bin/tmflint
 TMFLINT_SRC := $(wildcard cmd/tmflint/*.go internal/analysis/*/*.go)
 
-.PHONY: all build test check lint race fuzz chaos-short stress-short crash-matrix crash-matrix-short bench bench-json experiments soak soak-short
+.PHONY: all build test check lint race fuzz chaos-short stress-short crash-matrix crash-matrix-short bench bench-json bench-compare experiments soak soak-short load-short profile
 
 all: check
 
@@ -39,7 +39,7 @@ lint: $(TMFLINT)
 # under -race).
 race:
 	$(GO) test -race ./internal/obs/... ./internal/tmf/... ./internal/audit/... ./internal/lock/... ./internal/discproc/... ./internal/workload/... ./internal/expand/... ./internal/pair/... ./internal/dst/... ./internal/rollforward/... ./internal/paxoscommit/...
-	$(GO) test -race -run TestChaosTraceOracle .
+	$(GO) test -race -run 'TestChaosTraceOracle|TestBatchingKnobStateEquivalence' .
 
 # Fuzz smoke: a few seconds per target over the transid and message
 # wire-format round-trips and the audit trail's segment codec ('go test
@@ -92,6 +92,12 @@ soak:
 soak-short:
 	$(GO) run -race ./cmd/dst -seed $(SOAK_START) -schedules 100
 
+# A few seconds of open-loop terminal load under the race detector, with
+# every batching knob on and the Figure-3 trace oracle validating a sample
+# of the traces afterwards (TestLoadShortOpenLoop in load_test.go).
+load-short:
+	$(GO) test -race -short -run TestLoadShortOpenLoop -count=1 .
+
 # Lint runs first: a static-invariant violation should fail the gate in
 # seconds, before the race and soak stages spend minutes.
 check: build
@@ -104,6 +110,7 @@ check: build
 	$(MAKE) stress-short
 	$(MAKE) crash-matrix-short
 	$(MAKE) soak-short
+	$(MAKE) load-short
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -111,11 +118,31 @@ bench:
 # Machine-readable benchmark snapshot: the perf experiments (commit
 # fan-out + group commit, lossy-line convergence, multithreaded
 # DISCPROCESS ablation, DST explorer throughput, recovery time vs trail
-# length) as one JSON document stamped with the root seed and git
-# revision. Schema in EXPERIMENTS.md.
-BENCH_OUT ?= BENCH_PR8.json
+# length, open-loop terminal-scale throughput) as one JSON document
+# stamped with the root seed and git revision. Schema in EXPERIMENTS.md.
+BENCH_OUT ?= BENCH_PR9.json
+# The leading "-" keeps the snapshot usable even when an experiment's
+# qualitative claim fails (tmfbench exits 1 after writing the document).
 bench-json:
-	$(GO) run ./cmd/tmfbench -exp T9,T10,T11,T12,T13,T14 -json -out $(BENCH_OUT)
+	-$(GO) run ./cmd/tmfbench -exp T9,T10,T11,T12,T13,T14,T15 -json -out $(BENCH_OUT)
+
+# Metric-by-metric diff of two bench snapshots with a regression
+# threshold; informational by default (pass BENCH_DIFF_FLAGS=-fail-on-regress
+# to gate on it). Closes the ROADMAP's "machine-comparable trajectory" gap.
+BENCH_OLD ?= BENCH_PR8.json
+BENCH_NEW ?= BENCH_PR9.json
+BENCH_DIFF_FLAGS ?=
+bench-compare:
+	$(GO) run ./cmd/benchdiff $(BENCH_DIFF_FLAGS) $(BENCH_OLD) $(BENCH_NEW)
+
+# One-command hot-path hunt: run the open-loop load experiment under the
+# CPU profiler and print the top consumers. PROFILE_EXP/PROFILE_FLAGS tune
+# which experiment and knobs get profiled.
+PROFILE_EXP ?= T15
+PROFILE_FLAGS ?=
+profile:
+	-$(GO) run ./cmd/tmfbench -exp $(PROFILE_EXP) $(PROFILE_FLAGS) -cpuprofile cpu.pprof -memprofile mem.pprof
+	$(GO) tool pprof -top -nodecount 20 cpu.pprof
 
 experiments:
 	$(GO) run ./cmd/tmfbench -exp all

@@ -18,18 +18,43 @@ type ServerClassConfig struct {
 	Handler      Handler
 	MinInstances int
 	MaxInstances int
+	// DispatchShards splits the class's link manager into per-CPU
+	// dispatcher shards (see appserver.Config.DispatchShards). 0 inherits
+	// the system-wide Config.DispatchShards; both default to the seed's
+	// single-dispatcher behaviour.
+	DispatchShards int
 }
 
 // StartServerClass launches a class of context-free application servers on
 // the node, managed by application control (dynamic instance creation and
 // deletion).
 func (n *Node) StartServerClass(cfg ServerClassConfig) (*appserver.Class, error) {
+	shards := cfg.DispatchShards
+	if shards == 0 {
+		shards = n.dispatchShards
+	}
 	return appserver.Start(n.Msg, appserver.Config{
-		Class:        cfg.Class,
-		Handler:      cfg.Handler,
-		MinInstances: cfg.MinInstances,
-		MaxInstances: cfg.MaxInstances,
+		Class:          cfg.Class,
+		Handler:        cfg.Handler,
+		MinInstances:   cfg.MinInstances,
+		MaxInstances:   cfg.MaxInstances,
+		DispatchShards: shards,
 	})
+}
+
+// CallServerFrom is CallServer with an explicit originating CPU, so load
+// generators can exercise per-CPU sharded dispatch instead of funnelling
+// every request through the first up processor.
+func (n *Node) CallServerFrom(cpu int, node, class string, tx txid.ID, fields map[string]string, timeout time.Duration) (map[string]string, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	if !tx.IsZero() && node != "" && node != n.Name {
+		if err := n.TMF.NoteRemoteSend(tx, node); err != nil {
+			return nil, err
+		}
+	}
+	return appserver.CallTimeout(n.Msg, cpu, node, class, tx, fields, timeout)
 }
 
 // CallServer sends one transaction request to a server class (node may be

@@ -1,0 +1,226 @@
+package encompass_test
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"encompass"
+	"encompass/internal/txid"
+)
+
+// TestBatchingKnobStateEquivalence is the correctness oracle for the three
+// hot-path batching knobs: the same seeded mix of conflicting and
+// non-conflicting transactions runs once with every knob at its seed
+// default and once per knob (plus all together), under whatever detector
+// the invocation selects (`make race` runs it with -race). Batching may
+// change timing and message counts, never outcomes: each run must leave
+// byte-identical volume contents and every captured trace must pass the
+// Figure 3 oracle with zero runtime-checker violations.
+//
+// The mix mirrors the DiscWorkers oracle (order-independent final state
+// under strict 2PL) and adds a server-class leg: a third of the hot-key
+// updates run inside an application-server handler reached through
+// CallServerFrom, so the DispatchShards knob sits on the exercised path
+// rather than beside it.
+func TestBatchingKnobStateEquivalence(t *testing.T) {
+	seed := runBatchMix(t, "seed", nil)
+	knobs := []struct {
+		name string
+		mut  func(*encompass.Config)
+	}{
+		{"MailboxCoalesce", func(c *encompass.Config) { c.MailboxCoalesce = true }},
+		{"PiggybackBroadcasts", func(c *encompass.Config) { c.PiggybackBroadcasts = true }},
+		{"DispatchShards", func(c *encompass.Config) { c.DispatchShards = 4 }},
+		{"AllBatching", func(c *encompass.Config) {
+			c.MailboxCoalesce = true
+			c.PiggybackBroadcasts = true
+			c.DispatchShards = 4
+		}},
+	}
+	for _, k := range knobs {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			got := runBatchMix(t, k.name, k.mut)
+			if reflect.DeepEqual(seed, got) {
+				return
+			}
+			for file, keys := range seed {
+				for key, v := range keys {
+					if gv, ok := got[file][key]; !ok || string(gv) != string(v) {
+						t.Errorf("%s/%s: seed=%q %s=%q", file, key, v, k.name, gv)
+					}
+				}
+			}
+			for file, keys := range got {
+				for key := range keys {
+					if _, ok := seed[file][key]; !ok {
+						t.Errorf("%s/%s: present only under %s", file, key, k.name)
+					}
+				}
+			}
+			t.Fatalf("%s: final volume state diverged from the all-knobs-off run", k.name)
+		})
+	}
+}
+
+const (
+	batchHotKeys    = 4
+	batchGoroutines = 6
+)
+
+func batchIters() int {
+	if testing.Short() {
+		return 12
+	}
+	return 36
+}
+
+// runBatchMix runs the seeded mix under one knob configuration and returns
+// the volume's final contents.
+func runBatchMix(t *testing.T, label string, mut func(*encompass.Config)) map[string]map[string][]byte {
+	t.Helper()
+	cfg := encompass.Config{
+		Nodes: []encompass.NodeSpec{
+			{Name: "solo", CPUs: 4, Volumes: []encompass.VolumeSpec{{Name: "v1", Audited: true, CacheSize: 256}}},
+		},
+		TraceCapacity: 32768,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	sys, err := encompass.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := sys.Node("solo")
+	if err := sys.CreateFileEverywhere(encompass.LocalFile("batch", encompass.KeySequenced, "solo", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	// The server-class leg: apply a commutative delta to a hot record
+	// inside the CALLER's transaction — the handler shape mfg's
+	// apply-replica uses. Requests reach it via CallServerFrom, so under
+	// DispatchShards every originating CPU routes through its own shard.
+	if _, err := node.StartServerClass(encompass.ServerClassConfig{
+		Class:        "mixer",
+		MinInstances: 2,
+		MaxInstances: 8,
+		Handler: func(tx txid.ID, f map[string]string) (map[string]string, error) {
+			cur, err := node.FS.ReadLock(tx, "batch", f["KEY"])
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(string(cur))
+			if err != nil {
+				return nil, fmt.Errorf("hot record %s corrupt: %q", f["KEY"], cur)
+			}
+			d, _ := strconv.Atoi(f["DELTA"])
+			if err := node.FS.Update(tx, "batch", f["KEY"], []byte(strconv.Itoa(n+d))); err != nil {
+				return nil, err
+			}
+			return map[string]string{"STATUS": "OK"}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	seedTx, err := node.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < batchHotKeys; h++ {
+		if err := seedTx.Insert("batch", batchHotKey(h), []byte("0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seedTx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	iters := batchIters()
+	var wg sync.WaitGroup
+	errs := make(chan error, batchGoroutines*iters)
+	for w := 0; w < batchGoroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := batchIteration(node, w, i); err != nil {
+					errs <- fmt.Errorf("%s worker %d iter %d: %w", label, w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if validated := validateAllTraces(t, sys); validated == 0 {
+		t.Fatal("no traces captured")
+	}
+	return node.Volumes["v1"].Disk.Snapshot()
+}
+
+// batchIteration runs one transaction of the mix, retrying on lock
+// timeout: hot-key delta (every third iteration through the server class),
+// a disjoint private insert, and a fixed abort subset whose backout must
+// erase the work identically under every knob.
+func batchIteration(node *encompass.Node, w, i int) error {
+	for attempt := 0; ; attempt++ {
+		tx, err := node.Begin()
+		if err != nil {
+			return err
+		}
+		retry, err := func() (bool, error) {
+			hot := batchHotKey((w + i) % batchHotKeys)
+			delta := w*31 + i%7 + 1
+			if i%3 == 0 {
+				if _, err := node.CallServerFrom(w%4, "", "mixer", tx.ID, map[string]string{
+					"KEY": hot, "DELTA": strconv.Itoa(delta),
+				}, 5*time.Second); err != nil {
+					return true, tx.Abort("server-side update refused, retrying")
+				}
+			} else {
+				cur, err := tx.ReadLock("batch", hot)
+				if err != nil {
+					return true, tx.Abort("lock timeout, retrying")
+				}
+				n, err := strconv.Atoi(string(cur))
+				if err != nil {
+					return false, fmt.Errorf("hot record %s corrupt: %q", hot, cur)
+				}
+				if err := tx.Update("batch", hot, []byte(strconv.Itoa(n+delta))); err != nil {
+					return true, tx.Abort("update refused, retrying")
+				}
+			}
+			if err := tx.Insert("batch", batchPrivKey(w, i), []byte(fmt.Sprintf("w%d-i%d", w, i))); err != nil {
+				return true, tx.Abort("insert refused, retrying")
+			}
+			if i%8 == 3 { // fixed abort subset
+				return false, tx.Abort("planned abort")
+			}
+			return false, tx.Commit()
+		}()
+		if err != nil {
+			return err
+		}
+		if !retry {
+			return nil
+		}
+		if attempt > 50 {
+			return fmt.Errorf("starved after %d lock-timeout retries", attempt)
+		}
+	}
+}
+
+func batchHotKey(h int) string     { return fmt.Sprintf("bhot-%d", h) }
+func batchPrivKey(w, i int) string { return fmt.Sprintf("bown-w%d-i%03d", w, i) }

@@ -1,0 +1,200 @@
+// Command benchdiff compares two tmfbench -json documents metric by
+// metric, closing the "machine-comparable trajectory" gap: BENCH_*.json
+// files checked in by successive PRs become a diffable series instead of
+// prose to eyeball.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json              # report all metric changes
+//	benchdiff -threshold 0.15 OLD.json NEW.json
+//	benchdiff -fail-on-regress OLD.json NEW.json   # exit 1 on regressions
+//
+// Each metric is classified by name: throughput-like metrics (tx_per_sec,
+// per_sec, speedup, schedules_per_sec) regress when they drop, latency-like
+// metrics (_ns suffix, _lag_, latency) regress when they rise, and anything
+// else is reported as neutral. A change is only a regression when it moves
+// in the bad direction by more than -threshold (relative). Experiments or
+// metrics present on only one side are listed but never fail the diff —
+// the series gains and loses experiments as the repo grows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+type doc struct {
+	Tool        string `json:"tool"`
+	Revision    string `json:"revision"`
+	Experiments []struct {
+		ID      string             `json:"id"`
+		Pass    bool               `json:"pass"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"experiments"`
+}
+
+func load(path string) (*doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// direction classifies a metric name: +1 higher-is-better, -1
+// lower-is-better, 0 neutral (reported, never a regression).
+func direction(name string) int {
+	n := strings.ToLower(name)
+	switch {
+	case strings.Contains(n, "per_sec"), strings.Contains(n, "speedup"),
+		strings.Contains(n, "throughput"), strings.Contains(n, "msgs_per_wakeup"),
+		strings.Contains(n, "max_batch"):
+		return +1
+	case strings.HasSuffix(n, "_ns"), strings.Contains(n, "latency"),
+		strings.Contains(n, "_lag"), strings.Contains(n, "elapsed"),
+		strings.Contains(n, "failed"), strings.Contains(n, "violations"):
+		return -1
+	default:
+		return 0
+	}
+}
+
+type change struct {
+	exp, metric  string
+	oldV, newV   float64
+	raw          float64 // plain (new-old)/|old|, for display
+	rel          float64 // sign-adjusted so negative = moved in the bad direction
+	dir          int
+	isRegression bool
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative change beyond which a bad-direction move counts as a regression")
+	failOnRegress := flag.Bool("fail-on-regress", false, "exit 1 when any regression exceeds the threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-fail-on-regress] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldDoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newDoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	oldM := index(oldDoc)
+	newM := index(newDoc)
+
+	var changes []change
+	var onlyOld, onlyNew []string
+	for key, ov := range oldM {
+		nv, ok := newM[key]
+		if !ok {
+			onlyOld = append(onlyOld, key)
+			continue
+		}
+		exp, metric, _ := strings.Cut(key, "\x00")
+		dir := direction(metric)
+		rel := relChange(ov, nv)
+		// Sign-adjust: negative rel = moved in the bad direction.
+		adj := rel
+		if dir < 0 {
+			adj = -rel
+		}
+		changes = append(changes, change{
+			exp: exp, metric: metric, oldV: ov, newV: nv,
+			raw: rel, rel: adj, dir: dir,
+			isRegression: dir != 0 && adj < -*threshold,
+		})
+	}
+	for key := range newM {
+		if _, ok := oldM[key]; !ok {
+			onlyNew = append(onlyNew, key)
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].isRegression != changes[j].isRegression {
+			return changes[i].isRegression
+		}
+		if changes[i].rel != changes[j].rel {
+			return changes[i].rel < changes[j].rel
+		}
+		return changes[i].exp+changes[i].metric < changes[j].exp+changes[j].metric
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	fmt.Printf("benchdiff %s (%s) -> %s (%s), threshold %.0f%%\n",
+		flag.Arg(0), oldDoc.Revision, flag.Arg(1), newDoc.Revision, *threshold*100)
+	regressions := 0
+	for _, c := range changes {
+		marker := " "
+		switch {
+		case c.isRegression:
+			marker = "!"
+			regressions++
+		case c.dir != 0 && c.rel > *threshold:
+			marker = "+"
+		case math.Abs(c.rel) <= *threshold:
+			continue // within noise and neutral direction: stay quiet
+		}
+		fmt.Printf("%s %-4s %-38s %14.4g -> %-14.4g (%+.1f%%)\n",
+			marker, c.exp, c.metric, c.oldV, c.newV, c.raw*100)
+	}
+	for _, key := range onlyOld {
+		exp, metric, _ := strings.Cut(key, "\x00")
+		fmt.Printf("- %-4s %-38s removed\n", exp, metric)
+	}
+	for _, key := range onlyNew {
+		exp, metric, _ := strings.Cut(key, "\x00")
+		fmt.Printf("? %-4s %-38s new\n", exp, metric)
+	}
+	fmt.Printf("%d metric(s) compared, %d regression(s) beyond %.0f%% (\"!\" rows; \"+\" improved, \"?\" new, \"-\" removed)\n",
+		len(changes), regressions, *threshold*100)
+	if regressions > 0 && *failOnRegress {
+		os.Exit(1)
+	}
+}
+
+// index flattens a doc to {"expID\x00metric": value}.
+func index(d *doc) map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range d.Experiments {
+		for m, v := range e.Metrics {
+			out[e.ID+"\x00"+m] = v
+		}
+	}
+	return out
+}
+
+// relChange is (new-old)/|old|, clamped for zero baselines.
+func relChange(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return math.Inf(sign(newV))
+	}
+	return (newV - oldV) / math.Abs(oldV)
+}
+
+func sign(f float64) int {
+	if f < 0 {
+		return -1
+	}
+	return 1
+}

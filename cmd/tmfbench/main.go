@@ -6,13 +6,15 @@
 // Usage:
 //
 //	tmfbench -exp all      # every experiment (default)
-//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T14 (claims)
+//	tmfbench -exp F4       # one experiment: F1-F4 (figures), T1-T15 (claims)
 //	tmfbench -exp T9,T10,T11                        # a comma-separated subset
 //	tmfbench -list         # list experiments
 //	tmfbench -exp T9 -fanout 4 -batchwindow 200us   # tune T9's knobs
 //	tmfbench -exp T10 -loss 0.2 -dup 0.1            # tune T10's fault profile
 //	tmfbench -exp T11 -discworkers 16               # tune T11's worker depth
 //	tmfbench -exp T12 -seed 7 -schedules 24         # tune the DST throughput run
+//	tmfbench -exp T15 -rate 150000 -terminals 20000 # tune the open-loop load
+//	tmfbench -exp T15 -cpuprofile cpu.pprof         # profile a hot-path hunt
 //	tmfbench -exp T9,T10,T11 -json -out BENCH.json  # machine-readable output
 //
 // With -json the reports are written as a single JSON document (schema in
@@ -27,6 +29,8 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"encompass/internal/experiments"
@@ -51,6 +55,7 @@ var descriptions = []struct{ id, title string }{
 	{"T12", "DST explorer throughput: full fault schedules audited per second"},
 	{"T13", "ROLLFORWARD recovery time vs audit-trail length (streamed replay)"},
 	{"T14", "disposition under coordinator failure: blocking 2PC vs Paxos Commit (F=1)"},
+	{"T15", "terminal-scale open-loop throughput and batching ablation"},
 }
 
 // jsonDoc is the envelope written by -json; see EXPERIMENTS.md for the
@@ -79,8 +84,12 @@ func gitRevision() string {
 	return r
 }
 
-func main() {
-	exp := flag.String("exp", "all", "experiments to run: F1-F4, T1-T14, a comma-separated list, or all")
+// main delegates to run so the profile-writing defers execute before the
+// process exits with run's status code.
+func main() { os.Exit(run()) }
+
+func run() int {
+	exp := flag.String("exp", "all", "experiments to run: F1-F4, T1-T15, a comma-separated list, or all")
 	list := flag.Bool("list", false, "list experiments and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of text tables (schema in EXPERIMENTS.md)")
 	out := flag.String("out", "", "write output to this file instead of stdout")
@@ -92,6 +101,11 @@ func main() {
 	seed := flag.Int64("seed", experiments.T12Seed, "root seed for the seeded experiments (T12's first explored seed); stamped into -json output")
 	schedules := flag.Int("schedules", experiments.T12Schedules, "T12: number of DST schedules the throughput run explores")
 	window := flag.Duration("t14window", experiments.T14Window, "T14: how long the killed coordinator stays dead while the participant is probed")
+	rate := flag.Float64("rate", experiments.T15Rate, "T15: aggregate offered open-loop load, tx/sec")
+	terminals := flag.Int("terminals", experiments.T15Terminals, "T15: simulated terminal count (one goroutine each)")
+	loadDur := flag.Duration("loadduration", experiments.T15Duration, "T15: measured open-loop window per configuration")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
 	experiments.T9Fanout = *fanout
 	experiments.T9BatchWindow = *batchWindow
@@ -101,18 +115,49 @@ func main() {
 	experiments.T12Seed = *seed
 	experiments.T12Schedules = *schedules
 	experiments.T14Window = *window
+	experiments.T15Rate = *rate
+	experiments.T15Terminals = *terminals
+	experiments.T15Duration = *loadDur
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			pprof.Lookup("heap").WriteTo(f, 0)
+		}()
+	}
 
 	if *list {
 		for _, d := range descriptions {
 			fmt.Printf("%-3s %s\n", d.id, d.title)
 		}
-		return
+		return 0
 	}
 
 	reports, err := experiments.Run(*exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	failed := 0
 	for _, r := range reports {
@@ -126,7 +171,7 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		defer f.Close()
 		w = f
@@ -136,7 +181,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonDoc{Tool: "tmfbench", Seed: *seed, Revision: gitRevision(), Experiments: reports, Failed: failed}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 	} else {
 		for _, r := range reports {
@@ -145,6 +190,7 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,162 @@
+package appserver
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"encompass/internal/msg"
+	"encompass/internal/txid"
+)
+
+// sysCallAlias calls a class through one specific CPU's routing alias,
+// issued from fromCPU (they differ when the alias's own CPU is down).
+func sysCallAlias(sys *msg.System, fromCPU int, class string, aliasCPU int) (map[string]string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	r, err := sys.ClientCall(ctx, fromCPU, msg.Addr{Name: cpuAlias(class, aliasCPU)}, KindRequest, Req{})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := r.Payload.(Resp)
+	if !ok {
+		return nil, errors.New("malformed reply")
+	}
+	return resp.Fields, nil
+}
+
+// TestShardedDispatchAliases: a sharded class registers one routing alias
+// per CPU plus the plain class name (shard 0), and an unsharded class
+// registers no aliases at all — the fallback that keeps shard-unaware
+// callers and remote nodes working.
+func TestShardedDispatchAliases(t *testing.T) {
+	sys := newSys(t, 4)
+	if _, err := Start(sys, Config{Class: "echo", Handler: echoHandler, DispatchShards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Lookup(ClassName("echo")); err != nil {
+		t.Errorf("plain class name unresolvable under sharding: %v", err)
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		if _, err := sys.Lookup(cpuAlias("echo", cpu)); err != nil {
+			t.Errorf("no routing alias for cpu %d: %v", cpu, err)
+		}
+	}
+	if _, err := Start(sys, Config{Class: "plain", Handler: echoHandler}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Lookup(cpuAlias("plain", 0)); err == nil {
+		t.Error("unsharded class registered a per-CPU alias")
+	}
+}
+
+// TestShardedDispatchEquivalence: the same request stream answered by a
+// sharded and an unsharded class must produce identical replies, and the
+// sharded class must dispatch every request exactly once across its
+// shards.
+func TestShardedDispatchEquivalence(t *testing.T) {
+	sys := newSys(t, 4)
+	inc := func(_ txid.ID, f map[string]string) (map[string]string, error) {
+		n, _ := strconv.Atoi(f["N"])
+		return map[string]string{"N": strconv.Itoa(n + 1)}, nil
+	}
+	if _, err := Start(sys, Config{Class: "flat", Handler: inc}); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Start(sys, Config{Class: "fan", Handler: inc, DispatchShards: 4, MaxInstances: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		cpu := i % 4
+		req := map[string]string{"N": strconv.Itoa(i)}
+		flat, err := CallTimeout(sys, cpu, "", "flat", txid.ID{}, req, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fan, err := CallTimeout(sys, cpu, "", "fan", txid.ID{}, req, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flat["N"] != fan["N"] || fan["N"] != strconv.Itoa(i+1) {
+			t.Fatalf("call %d: flat=%v sharded=%v", i, flat, fan)
+		}
+	}
+	if d := sharded.Stats().Dispatched; d != n {
+		t.Errorf("sharded class dispatched %d, want %d", d, n)
+	}
+}
+
+// TestShardedDispatchConcurrent drives all shards at once under -race.
+func TestShardedDispatchConcurrent(t *testing.T) {
+	sys := newSys(t, 4)
+	cls, err := Start(sys, Config{Class: "echo", Handler: echoHandler, DispatchShards: 4, MaxInstances: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 80
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := CallTimeout(sys, i%4, "", "echo", txid.ID{}, map[string]string{"I": strconv.Itoa(i)}, 5*time.Second); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if d := cls.Stats().Dispatched; d != n {
+		t.Errorf("dispatched %d, want %d", d, n)
+	}
+}
+
+// TestShardedDispatcherSurvivesCPUFailure: killing one shard's processor
+// must leave the other shards serving and bring the dead shard back via
+// application control, aliases re-registered.
+func TestShardedDispatcherSurvivesCPUFailure(t *testing.T) {
+	sys := newSys(t, 3)
+	if _, err := Start(sys, Config{Class: "echo", Handler: echoHandler, CPUs: []int{0, 1, 2}, DispatchShards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for cpu := 0; cpu < 3; cpu++ {
+		if _, err := CallTimeout(sys, cpu, "", "echo", txid.ID{}, nil, 2*time.Second); err != nil {
+			t.Fatalf("pre-failure call from cpu %d: %v", cpu, err)
+		}
+	}
+	sys.Node().FailCPU(0) // shard 0's dispatcher CPU
+	deadline := time.Now().Add(3 * time.Second)
+	for cpu := 1; cpu <= 2; cpu++ {
+		var lastErr error
+		for time.Now().Before(deadline) {
+			if _, lastErr = CallTimeout(sys, cpu, "", "echo", txid.ID{}, nil, time.Second); lastErr == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if lastErr != nil {
+			t.Fatalf("calls from cpu %d never recovered: %v", cpu, lastErr)
+		}
+	}
+	// Shard 0's alias must point somewhere live again: calls that resolve
+	// cpu 0's alias are issued from a surviving CPU (cpu 0 itself is down).
+	var lastErr error
+	for time.Now().Before(deadline.Add(2 * time.Second)) {
+		if _, lastErr = sysCallAlias(sys, 1, "echo", 0); lastErr == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("shard 0 never came back after its CPU failed: %v", lastErr)
+	}
+}

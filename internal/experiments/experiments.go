@@ -80,7 +80,7 @@ func (r *Report) String() string {
 func All() []*Report {
 	reports := []*Report{
 		F1(), F2(), F3(), F4(),
-		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), T11(), T12(), T13(), T14(),
+		T1(), T2(), T3(), T4(), T5(), T6(), T7(), T8(), T9(), T10(), T11(), T12(), T13(), T14(), T15(),
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
 	return reports
@@ -139,8 +139,10 @@ func Run(id string) ([]*Report, error) {
 		return []*Report{T13()}, nil
 	case "T14":
 		return []*Report{T14()}, nil
+	case "T15":
+		return []*Report{T15()}, nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T14, all)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want F1-F4, T1-T15, all)", id)
 	}
 }
 

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"encompass"
+	"encompass/internal/load"
+	"encompass/internal/obs"
+)
+
+// Knobs for T15, settable from cmd/tmfbench flags.
+var (
+	// T15Rate is the aggregate offered load in tx/sec.
+	T15Rate = 120_000.0
+	// T15Terminals is the simulated terminal count (one goroutine each).
+	T15Terminals = 10_000
+	// T15Duration is the measured open-loop window per configuration.
+	T15Duration = 2 * time.Second
+	// T15Warmup runs before measurement starts.
+	T15Warmup = 300 * time.Millisecond
+	// T15Target is the sustained-throughput pass threshold, tx/sec.
+	T15Target = 100_000.0
+)
+
+const (
+	t15CPUs    = 8
+	t15Volumes = 8
+	t15Seed    = 1515
+)
+
+// t15Knobs selects which batching knobs one ablation run enables.
+type t15Knobs struct {
+	label     string
+	coalesce  bool // drain-many mailboxes (msg)
+	shards    bool // per-CPU sharded dispatch (appserver; exercised via Begin CPU spread)
+	piggyback bool // BEGIN/END broadcast piggybacking (tmf)
+}
+
+// t15Build assembles the single-node system under test: t15CPUs processors,
+// t15Volumes audited volumes (one DISCPROCESS each, so request traffic
+// fans out instead of funnelling through one process), and one pre-seeded
+// record per terminal.
+func t15Build(k t15Knobs) (*encompass.System, error) {
+	var vols []encompass.VolumeSpec
+	for v := 0; v < t15Volumes; v++ {
+		vols = append(vols, encompass.VolumeSpec{
+			Name: fmt.Sprintf("v%d", v), Audited: true, CacheSize: 4096,
+		})
+	}
+	sys, err := encompass.Build(encompass.Config{
+		Nodes:               []encompass.NodeSpec{{Name: "n", CPUs: t15CPUs, Volumes: vols}},
+		MailboxCoalesce:     k.coalesce,
+		PiggybackBroadcasts: k.piggyback,
+		DispatchShards:      map[bool]int{false: 0, true: t15CPUs}[k.shards],
+	})
+	if err != nil {
+		return nil, err
+	}
+	node := sys.Node("n")
+	for v := 0; v < t15Volumes; v++ {
+		f := fmt.Sprintf("f%d", v)
+		vol := fmt.Sprintf("v%d", v)
+		if err := node.FS.Create(encompass.LocalFile(f, encompass.KeySequenced, "n", vol)); err != nil {
+			return nil, err
+		}
+	}
+	// One record per terminal, spread over the volumes; seeded in chunks so
+	// setup doesn't run one mega-transaction against each volume.
+	const chunk = 512
+	for base := 0; base < T15Terminals; base += chunk {
+		tx, err := node.Begin()
+		if err != nil {
+			return nil, err
+		}
+		for t := base; t < base+chunk && t < T15Terminals; t++ {
+			if err := tx.Insert(fmt.Sprintf("f%d", t%t15Volumes), t15Key(t), []byte("0")); err != nil {
+				return nil, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func t15Key(term int) string { return fmt.Sprintf("t%06d", term) }
+
+// t15Run drives one open-loop configuration and returns the load result.
+// The transaction is the shortest realistic TMF unit of work: BEGIN, read
+// the terminal's own record with lock, update it, END — one audited record
+// touch, no artificial contention, so the measurement is protocol overhead
+// rather than lock queueing.
+func t15Run(k t15Knobs) (load.Result, *encompass.System, error) {
+	sys, err := t15Build(k)
+	if err != nil {
+		return load.Result{}, nil, err
+	}
+	node := sys.Node("n")
+	hist := obs.NewHistogram(obs.FineLatencyBuckets)
+	res, err := load.Run(load.Config{
+		Terminals: T15Terminals,
+		Rate:      T15Rate,
+		Arrival:   load.ArrivalPoisson,
+		Duration:  T15Duration,
+		Warmup:    T15Warmup,
+		Seed:      t15Seed,
+		Hist:      hist,
+		Tx: func(term, seq int) error {
+			file := fmt.Sprintf("f%d", term%t15Volumes)
+			tx, err := node.Begin()
+			if err != nil {
+				return err
+			}
+			cur, err := tx.ReadLock(file, t15Key(term))
+			if err != nil {
+				tx.Abort(err.Error())
+				return err
+			}
+			if err := tx.Update(file, t15Key(term), append(cur[:0:0], cur...)); err != nil {
+				tx.Abort(err.Error())
+				return err
+			}
+			return tx.Commit()
+		},
+	})
+	return res, sys, err
+}
+
+// T15 measures sustained open-loop throughput at terminal scale and the
+// contribution of each hot-path batching knob.
+//
+// T9–T14 are closed-loop: a fixed worker pool issues the next transaction
+// only when the previous one returns, so a stalled system quietly sheds
+// offered load and the recorded latencies omit exactly the delays a real
+// terminal population would have seen (coordinated omission). T15 is
+// open-loop: T15Terminals goroutine-terminals issue on Poisson schedules
+// totalling T15Rate tx/sec regardless of completions, and every latency is
+// measured from the intended send time. The ablation rows isolate the
+// three batching knobs — mailbox drain-many coalescing, per-CPU sharded
+// dispatch, and BEGIN/END broadcast piggybacking — against the seed
+// configuration at the same offered rate.
+func T15() *Report {
+	r := &Report{
+		ID:    "T15",
+		Title: "terminal-scale open-loop throughput and batching ablation",
+		Columns: []string{
+			"configuration", "terminals", "offered tx/s", "achieved tx/s",
+			"p50", "p95", "p99", "max lag",
+		},
+		Metrics: map[string]float64{},
+	}
+	fail := func(err error) *Report {
+		r.Notes = append(r.Notes, err.Error())
+		return r
+	}
+
+	configs := []t15Knobs{
+		{label: "seed (all knobs off)"},
+		{label: "+mailbox coalescing", coalesce: true},
+		{label: "+piggybacked broadcasts", piggyback: true},
+		{label: "+sharded dispatch", shards: true},
+		{label: "all batching on", coalesce: true, piggyback: true, shards: true},
+	}
+	var final load.Result
+	for _, k := range configs {
+		res, sys, err := t15Run(k)
+		if err != nil {
+			return fail(err)
+		}
+		r.Rows = append(r.Rows, []string{
+			k.label, i2s(T15Terminals), f2s(T15Rate), f2s(res.Throughput()),
+			dur(res.Hist.Quantile(0.50)), dur(res.Hist.Quantile(0.95)),
+			dur(res.Hist.Quantile(0.99)), dur(res.MaxLag),
+		})
+		slug := slugify(k.label)
+		r.Metrics[slug+".tx_per_sec"] = res.Throughput()
+		r.Metrics[slug+".p50_ns"] = float64(res.Hist.Quantile(0.50))
+		r.Metrics[slug+".p95_ns"] = float64(res.Hist.Quantile(0.95))
+		r.Metrics[slug+".p99_ns"] = float64(res.Hist.Quantile(0.99))
+		r.Metrics[slug+".max_lag_ns"] = float64(res.MaxLag)
+		r.Metrics[slug+".failed"] = float64(res.Failed)
+		node := sys.Node("n")
+		if k.coalesce {
+			wakeups, messages, maxBatch := node.Msg.CoalesceStats()
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"%s: %d messages over %d wakeups (%.1f msg/wakeup, max batch %d)",
+				k.label, messages, wakeups,
+				float64(messages)/max1f(float64(wakeups)), maxBatch))
+			r.Metrics[slug+".msgs_per_wakeup"] = float64(messages) / max1f(float64(wakeups))
+		}
+		if k.piggyback {
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"%s: %d logical broadcasts rode an existing bus frame",
+				k.label, node.HW.BusPiggybacked()))
+			r.Metrics[slug+".bus_piggybacked"] = float64(node.HW.BusPiggybacked())
+		}
+		if k == configs[len(configs)-1] {
+			final = res
+		}
+	}
+
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"open-loop, coordinated-omission-safe: latency from intended send time; %d issued, %d committed, %d failed in the measured window",
+		final.Issued, final.Committed, final.Failed))
+	r.Metrics["throughput.tx_per_sec"] = final.Throughput()
+	r.Metrics["throughput.target"] = T15Target
+	r.Pass = final.Throughput() >= T15Target
+	return r
+}
+
+func slugify(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		case c == ' ', c == '-':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func max1f(f float64) float64 {
+	if f < 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,84 @@
+package load
+
+import (
+	"time"
+
+	"encompass"
+	"encompass/internal/scobol"
+	"encompass/internal/txid"
+)
+
+// ScobolTx returns a Tx that runs one execution of a ScreenCOBOL requester
+// program per transaction, fronting the load with the paper's requester
+// shape: the program ACCEPTs the supplied terminal input, brackets its
+// SENDs in BEGIN/END-TRANSACTION, and the interpreter's restart logic
+// re-drives it when the system aborts. Each terminal routes its server
+// SENDs from its own CPU (terminal mod CPU count), so per-CPU sharded
+// dispatch sees a realistic spread of request origins.
+func ScobolTx(node *encompass.Node, src string, inputs map[string]string) (Tx, error) {
+	prog, err := scobol.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ncpu := node.HW.NumCPUs()
+	return func(term, seq int) error {
+		rt := &scobolRuntime{node: node, cpu: term % ncpu, inputs: inputs}
+		return scobol.NewExec(prog, rt, scobol.Options{MaxRestarts: 5}).Run()
+	}, nil
+}
+
+// scobolRuntime adapts one program execution to the node's TMF verbs,
+// standing in for the Terminal Control Process: terminal input comes from
+// a fixed field map, DISPLAY output is discarded, and SENDs go to the
+// node's server classes from the terminal's CPU.
+type scobolRuntime struct {
+	node   *encompass.Node
+	cpu    int
+	inputs map[string]string
+	tx     *encompass.Tx
+}
+
+func (r *scobolRuntime) Accept(screen string, fields []string) (map[string]string, error) {
+	out := make(map[string]string, len(fields))
+	for _, f := range fields {
+		out[f] = r.inputs[f]
+	}
+	return out, nil
+}
+
+func (r *scobolRuntime) Display(string) {}
+
+func (r *scobolRuntime) Send(server string, req map[string]string) (map[string]string, error) {
+	var id txid.ID
+	if r.tx != nil {
+		id = r.tx.ID
+	}
+	return r.node.CallServerFrom(r.cpu, "", server, id, req, 10*time.Second)
+}
+
+func (r *scobolRuntime) Begin() (string, error) {
+	tx, err := r.node.Begin()
+	if err != nil {
+		return "", err
+	}
+	r.tx = tx
+	return tx.ID.String(), nil
+}
+
+func (r *scobolRuntime) End() error {
+	if r.tx == nil {
+		return nil
+	}
+	err := r.tx.Commit()
+	r.tx = nil
+	return err
+}
+
+func (r *scobolRuntime) Abort() error {
+	if r.tx == nil {
+		return nil
+	}
+	err := r.tx.Abort("requester abort")
+	r.tx = nil
+	return err
+}

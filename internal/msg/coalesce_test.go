@@ -1,0 +1,133 @@
+package msg
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalescedMailboxFIFO: the drain-many mailbox replaces the per-message
+// channel, so its one observable contract is total FIFO order over the
+// queue with exactly-once delivery — batching is allowed to change timing,
+// never ordering.
+func TestCoalescedMailboxFIFO(t *testing.T) {
+	s := newSys(t, 2)
+	s.SetMailboxCoalesce(true)
+	const n = 500
+	got := make(chan int, n)
+	if _, err := s.Spawn(1, "sink", func(p *Process) {
+		for i := 0; i < n; i++ {
+			m, err := p.Recv(context.Background())
+			if err != nil {
+				return
+			}
+			got <- m.Payload.(int)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Spawn(0, "sender", func(p *Process) {
+		for i := 0; i < n; i++ {
+			if err := p.Send(Addr{Name: "sink"}, "seq", i); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case v := <-got:
+			if v != i {
+				t.Fatalf("message %d delivered as %d: coalesced mailbox broke FIFO order", i, v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivery stalled after %d of %d messages", i, n)
+		}
+	}
+	wakeups, messages, maxBatch := s.CoalesceStats()
+	if messages < n {
+		t.Errorf("CoalesceStats messages = %d, want >= %d", messages, n)
+	}
+	if wakeups == 0 || wakeups > messages {
+		t.Errorf("wakeups = %d for %d messages", wakeups, messages)
+	}
+	if maxBatch == 0 {
+		t.Error("max batch = 0: no drain ever carried a message")
+	}
+}
+
+// TestCoalescedRequestReply: the full call path (request, correlated
+// reply) behaves identically with the coalesced mailbox selected.
+func TestCoalescedRequestReply(t *testing.T) {
+	s := newSys(t, 3)
+	s.SetMailboxCoalesce(true)
+	if _, err := s.Spawn(1, "echo", func(p *Process) {
+		for {
+			m, err := p.Recv(context.Background())
+			if err != nil {
+				return
+			}
+			p.Reply(m, m.Payload)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			r, err := s.ClientCall(ctx, i%3, Addr{Name: "echo"}, "echo", i)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if r.Payload != i {
+				errs <- fmt.Errorf("call %d echoed %v", i, r.Payload)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCoalesceSelectionAtSpawn: the knob selects the inbox variant for
+// processes spawned AFTER it flips; already-spawned processes keep their
+// channel inbox. Messages to a pre-knob process must not count in
+// CoalesceStats.
+func TestCoalesceSelectionAtSpawn(t *testing.T) {
+	s := newSys(t, 2)
+	done := make(chan struct{})
+	if _, err := s.Spawn(1, "old", func(p *Process) {
+		if _, err := p.Recv(context.Background()); err == nil {
+			close(done)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetMailboxCoalesce(true)
+	if _, err := s.Spawn(0, "src", func(p *Process) {
+		p.Send(Addr{Name: "old"}, "ping", nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pre-knob process never received")
+	}
+	if wakeups, messages, _ := s.CoalesceStats(); wakeups != 0 || messages != 0 {
+		t.Errorf("pre-knob delivery hit the coalesced path: wakeups=%d messages=%d", wakeups, messages)
+	}
+}

@@ -54,6 +54,39 @@ var DefaultLatencyBuckets = []time.Duration{
 	1 * time.Second,
 }
 
+// FineLatencyBuckets resolve per-commit latency at six-figure transaction
+// rates: DefaultLatencyBuckets' first bound is 50µs, so at 100k tx/sec an
+// entire open-loop latency distribution can land in two buckets. The fine
+// set keeps sub-100µs resolution (1µs..100µs) and still spans the stall
+// tail the coordinated-omission guard surfaces (seconds).
+var FineLatencyBuckets = []time.Duration{
+	1 * time.Microsecond,
+	2 * time.Microsecond,
+	5 * time.Microsecond,
+	10 * time.Microsecond,
+	20 * time.Microsecond,
+	40 * time.Microsecond,
+	60 * time.Microsecond,
+	80 * time.Microsecond,
+	100 * time.Microsecond,
+	150 * time.Microsecond,
+	250 * time.Microsecond,
+	400 * time.Microsecond,
+	650 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+}
+
 // Histogram is a fixed-bucket latency histogram. Observations above the
 // last bound land in an implicit +Inf bucket. A nil *Histogram discards
 // observations.
@@ -237,6 +270,16 @@ func (r *Registry) Counter(name string) *Counter {
 // Histogram returns the named histogram, creating it with the default
 // latency buckets on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWithBuckets(name, nil)
+}
+
+// HistogramWithBuckets returns the named histogram, creating it with the
+// given bucket bounds on first use (nil selects DefaultLatencyBuckets).
+// The bucket set is selectable per histogram: a registry can serve coarse
+// protocol-phase histograms and fine open-loop latency histograms side by
+// side. Bounds are fixed at creation; a later caller naming different
+// bounds gets the existing histogram unchanged.
+func (r *Registry) HistogramWithBuckets(name string, bounds []time.Duration) *Histogram {
 	if r == nil {
 		return nil
 	}
@@ -244,7 +287,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = NewHistogram(nil)
+		h = NewHistogram(bounds)
 		r.hists[name] = h
 	}
 	return h

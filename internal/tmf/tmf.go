@@ -133,9 +133,18 @@ type Monitor struct {
 	seq     map[int]uint64 // per-CPU BEGIN sequence numbers
 	volumes map[string]VolumeInfo
 
-	// tabMu guards the per-CPU replicated state tables.
-	tabMu  sync.Mutex
-	tables []map[txid.ID]txid.State
+	// tabMu guards the per-CPU replicated state tables and, under the
+	// piggyback knob, the pending set of deferred 'active' replications.
+	tabMu   sync.Mutex
+	tables  []map[txid.ID]txid.State
+	pending map[txid.ID]txid.State
+
+	// piggyback defers the BEGIN 'active' table broadcast so it rides the
+	// transaction's next state-change frame (END or abort) as one
+	// TransferBatch per CPU — short transactions pay one bus arbitration
+	// per processor instead of two or more. Off (the default) reproduces
+	// the seed's broadcast-per-transition behaviour.
+	piggyback bool
 
 	// transitions is the Figure 3 conformance log.
 	trMu        sync.Mutex
@@ -242,6 +251,14 @@ type Config struct {
 	// 0 means 3, tolerating one failure). One acceptor process runs per
 	// configured CPU of the home node (slot i on CPU i mod NumCPUs).
 	CommitAcceptors int
+	// PiggybackBroadcasts defers the BEGIN 'active' state-table broadcast
+	// and piggybacks it on the transaction's next state-change frame (the
+	// END or abort broadcast), one batched transfer per CPU. Transition
+	// logging, tracing and the Figure 3 checker still see every transition
+	// at emission time, and Monitor.State falls back to the pending set,
+	// so only physical bus traffic changes. False (the default) is the
+	// seed's one-frame-per-transition behaviour.
+	PiggybackBroadcasts bool
 }
 
 // New creates and starts the node's TMF monitor, including its TMP pair.
@@ -265,6 +282,8 @@ func New(cfg Config) (*Monitor, error) {
 		volumes:   make(map[string]VolumeInfo),
 		safeQueue: make(map[string][]safeMsg),
 		tables:    make([]map[txid.ID]txid.State, node.NumCPUs()),
+		pending:   make(map[txid.ID]txid.State),
+		piggyback: cfg.PiggybackBroadcasts,
 		fanout:    cfg.CommitFanout,
 		reg:       reg,
 		tracer:    cfg.Tracer,
@@ -434,15 +453,28 @@ func (m *Monitor) closeToNewWork(tx txid.ID) {
 }
 
 // State returns the transaction's state as replicated on the
-// lowest-numbered up CPU of the node.
+// lowest-numbered up CPU of the node. A transaction whose 'active'
+// broadcast is deferred under the piggyback knob reads as active here —
+// the logical state machine is knob-independent.
 func (m *Monitor) State(tx txid.ID) txid.State {
-	up := m.sys.Node().UpCPUs()
 	m.tabMu.Lock()
 	defer m.tabMu.Unlock()
+	return m.stateLocked(tx)
+}
+
+// stateLocked is State with tabMu already held: the replica of the
+// lowest-numbered up CPU, falling back to the pending deferred-broadcast
+// set. Internal sweeps (unreachable-participant and CPU-down aborts) use
+// it so piggybacked transactions don't dodge them.
+func (m *Monitor) stateLocked(tx txid.ID) txid.State {
+	up := m.sys.Node().UpCPUs()
 	if len(up) == 0 {
 		return txid.StateNone
 	}
-	return m.tables[up[0]][tx]
+	if st := m.tables[up[0]][tx]; st != txid.StateNone {
+		return st
+	}
+	return m.pending[tx]
 }
 
 // StateOnCPU returns the state replica held by one CPU's table.
@@ -476,9 +508,26 @@ func (m *Monitor) broadcast(tx txid.ID, to txid.State) {
 	_ = m.checker.Observe(m.node, tx, from, to)
 
 	node := m.sys.Node()
+	if m.piggyback && to == txid.StateActive {
+		// Defer the table replication: the 'active' entry rides the
+		// transaction's next state-change frame. The transition was logged,
+		// traced and checked above, so observability is unchanged; reads go
+		// through stateLocked, which consults the pending set.
+		m.tabMu.Lock()
+		m.pending[tx] = to
+		m.tabMu.Unlock()
+		return
+	}
+	count := 1
+	m.tabMu.Lock()
+	if _, deferred := m.pending[tx]; deferred {
+		delete(m.pending, tx)
+		count = 2 // the deferred 'active' rides this frame
+	}
+	m.tabMu.Unlock()
 	for _, cpu := range node.UpCPUs() {
 		cpu := cpu
-		err := node.Transfer(srcCPU, cpu, func() {
+		err := node.TransferBatch(srcCPU, cpu, count, func() {
 			m.tabMu.Lock()
 			if to.Terminal() {
 				// "Once the 'ended'/'aborted' state has completed, the
@@ -536,6 +585,7 @@ func (m *Monitor) Forget(tx txid.ID) {
 			delete(tab, tx)
 		}
 	}
+	delete(m.pending, tx)
 	m.tabMu.Unlock()
 	m.mu.Lock()
 	delete(m.txs, tx)

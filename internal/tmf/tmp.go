@@ -428,12 +428,9 @@ func (m *Monitor) abortUnreachable() {
 	var victims []victim
 	m.mu.Lock()
 	for id, t := range m.txs {
-		st := txid.StateNone
 		// peek table state without broadcast
 		m.tabMu.Lock()
-		if up := m.sys.Node().UpCPUs(); len(up) > 0 {
-			st = m.tables[up[0]][id]
-		}
+		st := m.stateLocked(id)
 		m.tabMu.Unlock()
 		if st.Terminal() || st == txid.StateAborting {
 			continue
@@ -474,10 +471,7 @@ func (m *Monitor) onHWEvent(e hw.Event) {
 	for id, t := range m.txs {
 		if t.isHome && id.CPU == e.CPU {
 			m.tabMu.Lock()
-			st := txid.StateNone
-			if up := m.sys.Node().UpCPUs(); len(up) > 0 {
-				st = m.tables[up[0]][id]
-			}
+			st := m.stateLocked(id)
 			m.tabMu.Unlock()
 			if st == txid.StateActive || st == txid.StateEnding {
 				victims = append(victims, id)

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTPSEdgeCases(t *testing.T) {
+	if tps := (Result{}).TPS(); tps != 0 {
+		t.Errorf("zero-value TPS = %v, want 0", tps)
+	}
+	if tps := (Result{Committed: 5, Elapsed: -time.Second}).TPS(); tps != 0 {
+		t.Errorf("negative-elapsed TPS = %v, want 0", tps)
+	}
+	if tps := (Result{Committed: 120, Elapsed: 2 * time.Second}).TPS(); tps != 60 {
+		t.Errorf("TPS = %v, want 60", tps)
+	}
+	if tps := (Result{Committed: 0, Elapsed: time.Second}).TPS(); tps != 0 {
+		t.Errorf("no-commit TPS = %v, want 0", tps)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if p := (Result{}).Percentile(50); p != 0 {
+		t.Errorf("empty percentile = %v, want 0", p)
+	}
+
+	one := Result{latencies: []time.Duration{7 * time.Millisecond}}
+	for _, q := range []float64{0, 50, 100} {
+		if p := one.Percentile(q); p != 7*time.Millisecond {
+			t.Errorf("single-sample p%.0f = %v, want 7ms", q, p)
+		}
+	}
+
+	// Unsorted input: Percentile must sort a copy, not mutate the field.
+	many := Result{latencies: []time.Duration{
+		9 * time.Millisecond, 1 * time.Millisecond, 5 * time.Millisecond,
+		3 * time.Millisecond, 7 * time.Millisecond,
+	}}
+	if p := many.Percentile(0); p != 1*time.Millisecond {
+		t.Errorf("p0 = %v, want 1ms", p)
+	}
+	if p := many.Percentile(100); p != 9*time.Millisecond {
+		t.Errorf("p100 = %v, want 9ms", p)
+	}
+	if p := many.Percentile(50); p != 5*time.Millisecond {
+		t.Errorf("p50 = %v, want 5ms", p)
+	}
+	if many.latencies[0] != 9*time.Millisecond {
+		t.Error("Percentile mutated the receiver's latency slice")
+	}
+	// Monotone in p.
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 100; q += 5 {
+		p := many.Percentile(q)
+		if p < prev {
+			t.Errorf("percentile not monotone: p%.0f = %v < %v", q, p, prev)
+		}
+		prev = p
+	}
+}
