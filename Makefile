@@ -23,12 +23,20 @@ test: build
 # The vettool is rebuilt only when its sources change; `go vet` then runs
 # all tmflint analyzers over the whole tree in one pass. Deliberate
 # exceptions are `//lint:allow <analyzer> <reason>` directives at the
-# flagged line (see DESIGN.md §11).
+# flagged line (see DESIGN.md §11). Each vet unit appends per-analyzer
+# wall times to LINT_TIMING; the -timing pass then prints where the suite
+# spends its budget and fails if any analyzer's total exceeds LINT_BUDGET
+# (an analyzer that got slow should be noticed by the person who made it
+# slow, not discovered as "lint takes forever now" three PRs later).
 $(TMFLINT): $(TMFLINT_SRC)
 	$(GO) build -o $(TMFLINT) ./cmd/tmflint
 
+LINT_TIMING ?= bin/lint-timing.tsv
+LINT_BUDGET ?= 5s
 lint: $(TMFLINT)
-	$(GO) vet -vettool=$(TMFLINT) ./...
+	@rm -f $(LINT_TIMING)
+	TMFLINT_TIMING=$(abspath $(LINT_TIMING)) $(GO) vet -vettool=$(TMFLINT) ./...
+	$(TMFLINT) -timing -budget $(LINT_BUDGET) $(LINT_TIMING)
 
 # Race-detector runs over the packages with real concurrency: the TMF
 # commit/abort fan-out, the audit trail's group commit, the striped lock
@@ -127,8 +135,11 @@ bench-json:
 	-$(GO) run ./cmd/tmfbench -exp T9,T10,T11,T12,T13,T14,T15 -json -out $(BENCH_OUT)
 
 # Metric-by-metric diff of two bench snapshots with a regression
-# threshold; informational by default (pass BENCH_DIFF_FLAGS=-fail-on-regress
-# to gate on it). Closes the ROADMAP's "machine-comparable trajectory" gap.
+# threshold; informational by default. CI gates on it with
+# BENCH_DIFF_FLAGS="-fail-on-regress -gate-metrics failed,violations,..."
+# so unambiguous-direction correctness counters and pass-flag flips fail
+# the build while noisy throughput/latency stay advisory. Closes the
+# ROADMAP's "machine-comparable trajectory" gap.
 BENCH_OLD ?= BENCH_PR8.json
 BENCH_NEW ?= BENCH_PR9.json
 BENCH_DIFF_FLAGS ?=

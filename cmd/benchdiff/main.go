@@ -8,6 +8,7 @@
 //	benchdiff OLD.json NEW.json              # report all metric changes
 //	benchdiff -threshold 0.15 OLD.json NEW.json
 //	benchdiff -fail-on-regress OLD.json NEW.json   # exit 1 on regressions
+//	benchdiff -fail-on-regress -gate-metrics failed,violations OLD.json NEW.json
 //
 // Each metric is classified by name: throughput-like metrics (tx_per_sec,
 // per_sec, speedup, schedules_per_sec) regress when they drop, latency-like
@@ -16,6 +17,16 @@
 // in the bad direction by more than -threshold (relative). Experiments or
 // metrics present on only one side are listed but never fail the diff —
 // the series gains and loses experiments as the repo grows.
+//
+// -gate-metrics restricts which regressions are FATAL under
+// -fail-on-regress: only metrics whose name contains one of the
+// comma-separated substrings exit 1; the rest still print as "~"
+// informational regressions. This is how CI gates on unambiguous-direction
+// correctness counters (failed, violations) while leaving throughput and
+// latency — too noisy on shared runners — advisory. An experiment whose
+// pass flag flips true -> false is always fatal under -fail-on-regress,
+// regardless of -gate-metrics: a qualitative claim that stopped holding is
+// never noise.
 package main
 
 import (
@@ -75,11 +86,13 @@ type change struct {
 	rel          float64 // sign-adjusted so negative = moved in the bad direction
 	dir          int
 	isRegression bool
+	gated        bool // a regression here is fatal under -fail-on-regress
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative change beyond which a bad-direction move counts as a regression")
 	failOnRegress := flag.Bool("fail-on-regress", false, "exit 1 when any regression exceeds the threshold")
+	gateMetrics := flag.String("gate-metrics", "", "comma-separated metric-name substrings; when set, only matching regressions (and pass-flag flips) are fatal under -fail-on-regress")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-fail-on-regress] OLD.json NEW.json")
@@ -119,6 +132,7 @@ func main() {
 			exp: exp, metric: metric, oldV: ov, newV: nv,
 			raw: rel, rel: adj, dir: dir,
 			isRegression: dir != 0 && adj < -*threshold,
+			gated:        gatedMetric(*gateMetrics, metric),
 		})
 	}
 	for key := range newM {
@@ -140,12 +154,23 @@ func main() {
 
 	fmt.Printf("benchdiff %s (%s) -> %s (%s), threshold %.0f%%\n",
 		flag.Arg(0), oldDoc.Revision, flag.Arg(1), newDoc.Revision, *threshold*100)
-	regressions := 0
+	regressions, fatal := 0, 0
+	for id, oldPass := range passFlags(oldDoc) {
+		if newPass, both := passFlags(newDoc)[id]; both && oldPass && !newPass {
+			fmt.Printf("! %-4s %-38s pass -> FAIL (qualitative claim stopped holding)\n", id, "pass")
+			regressions++
+			fatal++
+		}
+	}
 	for _, c := range changes {
 		marker := " "
 		switch {
-		case c.isRegression:
+		case c.isRegression && c.gated:
 			marker = "!"
+			regressions++
+			fatal++
+		case c.isRegression:
+			marker = "~"
 			regressions++
 		case c.dir != 0 && c.rel > *threshold:
 			marker = "+"
@@ -163,11 +188,36 @@ func main() {
 		exp, metric, _ := strings.Cut(key, "\x00")
 		fmt.Printf("? %-4s %-38s new\n", exp, metric)
 	}
-	fmt.Printf("%d metric(s) compared, %d regression(s) beyond %.0f%% (\"!\" rows; \"+\" improved, \"?\" new, \"-\" removed)\n",
-		len(changes), regressions, *threshold*100)
-	if regressions > 0 && *failOnRegress {
+	fmt.Printf("%d metric(s) compared, %d regression(s) beyond %.0f%%, %d fatal (\"!\" fatal, \"~\" advisory, \"+\" improved, \"?\" new, \"-\" removed)\n",
+		len(changes), regressions, *threshold*100, fatal)
+	if fatal > 0 && *failOnRegress {
 		os.Exit(1)
 	}
+}
+
+// gatedMetric reports whether a regression in metric is fatal under
+// -fail-on-regress: with no -gate-metrics every regression is, otherwise
+// only metrics matching one of the substrings.
+func gatedMetric(gate, metric string) bool {
+	if gate == "" {
+		return true
+	}
+	m := strings.ToLower(metric)
+	for _, sub := range strings.Split(gate, ",") {
+		if sub = strings.TrimSpace(strings.ToLower(sub)); sub != "" && strings.Contains(m, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// passFlags maps experiment ID -> pass flag.
+func passFlags(d *doc) map[string]bool {
+	out := make(map[string]bool, len(d.Experiments))
+	for _, e := range d.Experiments {
+		out[e.ID] = e.Pass
+	}
+	return out
 }
 
 // index flattens a doc to {"expID\x00metric": value}.

@@ -1,22 +1,37 @@
-// Command tmflint is the project's static-analysis vettool: six
-// analyzers that turn TMF's concurrency, checkpoint, and determinism
-// disciplines into compile-time invariants. Run it through the standard
-// vet driver, which supplies type information from the build cache:
+// Command tmflint is the project's static-analysis vettool: nine
+// analyzers that turn TMF's concurrency, checkpoint, write-ahead-ordering,
+// goroutine-lifecycle, and determinism disciplines into compile-time
+// invariants. Run it through the standard vet driver, which supplies type
+// information from the build cache:
 //
 //	go build -o bin/tmflint ./cmd/tmflint
 //	go vet -vettool=bin/tmflint ./...
 //
 // (or simply `make lint`). Deliberate exceptions are written as
 // `//lint:allow <analyzer> <reason>` on or directly above the flagged
-// line; see DESIGN.md §11 for each analyzer's invariant and the paper
-// section it traces to.
+// line; see DESIGN.md §11 and §16 for each analyzer's invariant and the
+// paper section it traces to.
+//
+// With TMFLINT_TIMING=<file> in the environment, each vet-driven process
+// appends its per-analyzer wall times to <file>;
+//
+//	tmflint -timing <file> [-budget 5s]
+//
+// then prints the per-analyzer totals and, when -budget is given, exits 1
+// if any single analyzer exceeded it — the CI guard that keeps the suite
+// from silently ballooning `make check`.
 package main
 
 import (
+	"os"
+
 	"encompass/internal/analysis/all"
 	"encompass/internal/analysis/unitchecker"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-timing" {
+		os.Exit(timingMain(os.Args[2:]))
+	}
 	unitchecker.Main(all.Analyzers...)
 }

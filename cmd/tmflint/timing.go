@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// timingMain implements `tmflint -timing <file> [-budget d]`: sum the
+// per-analyzer wall times the vet-driven processes appended under
+// TMFLINT_TIMING and fail if any analyzer exceeds the budget.
+func timingMain(args []string) int {
+	fs := flag.NewFlagSet("tmflint -timing", flag.ExitOnError)
+	budget := fs.Duration("budget", 0, "fail if any single analyzer's total wall time exceeds this (0 = report only)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tmflint -timing [-budget d] <timing-file>")
+		return 2
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		// No timing file means the lint run analyzed nothing new (all
+		// package units were cached); that is a pass, not a failure.
+		fmt.Printf("tmflint timing: no data (%v) — all vet units cached\n", err)
+		return 0
+	}
+
+	totals := map[string]time.Duration{}
+	pkgs := map[string]map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			continue
+		}
+		ns, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		totals[parts[0]] += time.Duration(ns)
+		if pkgs[parts[0]] == nil {
+			pkgs[parts[0]] = map[string]bool{}
+		}
+		pkgs[parts[0]][parts[2]] = true
+	}
+
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return totals[names[i]] > totals[names[j]] })
+
+	over := 0
+	fmt.Printf("tmflint timing (%d analyzers, budget %v):\n", len(names), *budget)
+	for _, name := range names {
+		mark := " "
+		if *budget > 0 && totals[name] > *budget {
+			mark = "!"
+			over++
+		}
+		fmt.Printf("  %s %-16s %10v  (%d pkgs)\n", mark, name, totals[name].Round(time.Microsecond), len(pkgs[name]))
+	}
+	if over > 0 {
+		fmt.Fprintf(os.Stderr, "tmflint timing: %d analyzer(s) over the %v budget\n", over, *budget)
+		return 1
+	}
+	return 0
+}

@@ -5,18 +5,24 @@ package all
 import (
 	"encompass/internal/analysis/checkpointfirst"
 	"encompass/internal/analysis/droppederr"
+	"encompass/internal/analysis/forcefirst"
+	"encompass/internal/analysis/guardedby"
 	"encompass/internal/analysis/lint"
 	"encompass/internal/analysis/lockorder"
 	"encompass/internal/analysis/mailboxblock"
 	"encompass/internal/analysis/nodeterminism"
+	"encompass/internal/analysis/spawnlifecycle"
 	"encompass/internal/analysis/statetrans"
 )
 
 // Analyzers is the tmflint suite, in reporting order.
 var Analyzers = []*lint.Analyzer{
 	lockorder.Analyzer,
+	guardedby.Analyzer,
 	checkpointfirst.Analyzer,
+	forcefirst.Analyzer,
 	statetrans.Analyzer,
+	spawnlifecycle.Analyzer,
 	nodeterminism.Analyzer,
 	mailboxblock.Analyzer,
 	droppederr.Analyzer,

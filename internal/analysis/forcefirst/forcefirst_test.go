@@ -1,0 +1,15 @@
+package forcefirst
+
+import (
+	"testing"
+
+	"encompass/internal/analysis/analysistest"
+)
+
+func TestForceFirstTMF(t *testing.T) {
+	analysistest.Run(t, Analyzer, "tmf")
+}
+
+func TestForceFirstPaxosCommit(t *testing.T) {
+	analysistest.Run(t, Analyzer, "paxoscommit")
+}

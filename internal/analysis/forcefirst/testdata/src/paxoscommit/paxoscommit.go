@@ -1,0 +1,54 @@
+// Test fixture for the forcefirst analyzer, paxoscommit vocabulary: an
+// acceptor's Process.Reply is the durability promise and must follow a
+// decision-log append (or the blessed accept wrapper) in the same case.
+package paxoscommit
+
+type DecisionLog struct{}
+
+func (l *DecisionLog) Append(v int) {}
+
+type Process struct{}
+
+func (p *Process) Reply(req, resp int) error      { return nil }
+func (p *Process) ReplyErr(req int, err error) error { return nil }
+
+type acceptor struct {
+	log *DecisionLog
+}
+
+// accept is the blessed log-then-mutate wrapper.
+func accept(a *acceptor, v int) {
+	a.log.Append(v)
+}
+
+func (a *acceptor) handleGood(p *Process, kind int) {
+	switch kind {
+	case 1:
+		a.log.Append(1)
+		_ = p.Reply(1, 2)
+	case 2:
+		accept(a, 2)
+		_ = p.Reply(1, 2)
+	}
+}
+
+func (a *acceptor) handleBad(p *Process, kind int) {
+	switch kind {
+	case 1:
+		a.log.Append(1)
+		_ = p.Reply(1, 2)
+	case 2:
+		_ = p.Reply(1, 2) // want "acceptor Process.Reply externalizes the outcome"
+	}
+}
+
+// errPathOK: ReplyErr carries no outcome and is always allowed.
+func (a *acceptor) errPathOK(p *Process) {
+	_ = p.ReplyErr(1, nil)
+}
+
+// allowedReadOnly: directive suppression for read-only answers.
+func (a *acceptor) allowedReadOnly(p *Process) {
+	//lint:allow forcefirst test fixture: read-only answer externalizes only already-durable state
+	_ = p.Reply(1, 2)
+}

@@ -1,0 +1,82 @@
+// Test fixture for the forcefirst analyzer, tmf vocabulary: terminal-state
+// broadcasts, child delivery, and raw MonitorTrail appends must be
+// dominated by a decision-log append or trail force in the same region.
+package tmf
+
+type DecisionLog struct{}
+
+func (l *DecisionLog) Append(v int) {}
+
+type MonitorTrail struct{}
+
+func (t *MonitorTrail) Append(v int) {}
+
+type state int
+
+const (
+	StateActive state = iota
+	StateEnded
+	StateAborted
+)
+
+func broadcast(st state)            {}
+func safeDeliverChildren(hint bool) {}
+
+// recordOutcome is the blessed single MAT-write path: its own append IS
+// the force, not a leak of it.
+func recordOutcome(t *MonitorTrail) {
+	t.Append(1)
+}
+
+func badBroadcast() {
+	broadcast(StateEnded) // want "broadcast of a terminal state externalizes the outcome"
+}
+
+// goodIntent: Ending/Aborting intents (non-terminal states) may precede
+// the force.
+func goodIntent() {
+	broadcast(StateActive)
+}
+
+func goodForced(l *DecisionLog) {
+	l.Append(1)
+	broadcast(StateAborted)
+	safeDeliverChildren(false)
+}
+
+func badDeliver() {
+	safeDeliverChildren(true) // want "disposition delivery to children externalizes the outcome"
+}
+
+func badTrailAppend(t *MonitorTrail) {
+	t.Append(2) // want "MonitorTrail.Append outside recordOutcome externalizes the outcome"
+}
+
+// handlePrologue: a force before the switch dominates every case.
+func handlePrologue(l *DecisionLog, kind int) {
+	l.Append(kind)
+	switch kind {
+	case 1:
+		broadcast(StateEnded)
+	case 2:
+		safeDeliverChildren(true)
+	}
+}
+
+// handlePerCase: a force inside one case must not license an
+// externalization in a different case — each case is its own request path.
+func handlePerCase(l *DecisionLog, kind int) {
+	switch kind {
+	case 1:
+		l.Append(1)
+		broadcast(StateEnded)
+	case 2:
+		safeDeliverChildren(true) // want "disposition delivery to children externalizes the outcome"
+	}
+}
+
+// allowedLeak: directive suppression, identical to the vettool's.
+func allowedLeak() {
+	//lint:allow forcefirst test fixture: deliberately suppressed externalization
+	broadcast(StateEnded)
+}

@@ -1,0 +1,254 @@
+// Package guardedby turns the codebase's informal "guarded by mu" field
+// comments into enforced annotations. The paper's monitor discipline —
+// shared state is only touched inside the critical section of its named
+// mutex — is exactly the property the race detector samples dynamically;
+// this analyzer checks it lexically on every build, including the paths
+// no test schedule happens to exercise.
+//
+// Annotation grammar, written as the field's doc or trailing comment:
+//
+//	f T // guarded by mu          — mu is a sibling sync.Mutex/RWMutex field
+//	f T // guarded by Owner.mu    — cross-struct: the guard lives on Owner
+//
+// The sibling form is satisfied when the walk sees base.mu held for the
+// same base expression the field is accessed through (or any lock of rank
+// Owner.mu, so aliases of the same object count). The cross-struct form is
+// satisfied by rank alone: it covers fields like tmf's per-transaction tcb
+// flags, whose guard is the owning Monitor's mu, and lock's waiter.done,
+// guarded by the containing shard's mutex.
+//
+// Exemptions, matching the codebase's conventions:
+//
+//   - functions whose name ends in "Locked" — the suffix is the contract
+//     that the caller already holds the relevant lock;
+//   - accesses through function-local variables initialized from a
+//     composite literal or new() in the same function — a freshly built
+//     object is unshared until published, which is how constructors
+//     legitimately write guarded fields lock-free.
+//
+// A malformed annotation (naming no sibling mutex field, or a type/field
+// pair that does not resolve to a mutex in this package) is itself
+// reported: a guard comment that cannot be enforced is documentation
+// drift waiting to become a race.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"encompass/internal/analysis/lint"
+)
+
+// Analyzer is the guardedby analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "guardedby",
+	Doc:  "flags accesses to '// guarded by <mu>' annotated struct fields outside the named mutex's critical section",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z0-9_.]+)`)
+
+// guardSpec is one parsed annotation on owner.field.
+type guardSpec struct {
+	owner string // struct type declaring the guarded field
+	field string
+	guard string // sibling mutex field name ("" for cross-struct form)
+	rank  string // "Owner.mu" — the lint.HeldLock rank that satisfies it
+}
+
+func run(pass *lint.Pass) error {
+	guards := collect(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	lint.ForEachFunc(pass, func(fn *lint.FuncInfo) {
+		if strings.HasSuffix(fn.Decl.Name.Name, "Locked") {
+			return // caller-holds-the-lock contract, by naming convention
+		}
+		fresh := freshLocals(pass, fn.Body)
+		lint.WalkHeldNodes(pass.TypesInfo, fn.Body, func(n ast.Node, held []lint.HeldLock) {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return
+			}
+			owner := lint.NamedTypeName(selection.Recv())
+			gs, guarded := guards[owner][sel.Sel.Name]
+			if !guarded {
+				return
+			}
+			if id, isIdent := sel.X.(*ast.Ident); isIdent && fresh[pass.TypesInfo.Uses[id]] {
+				return // freshly constructed, not yet shared
+			}
+			base := types.ExprString(sel.X)
+			for _, h := range held {
+				if h.Rank == gs.rank || (gs.guard != "" && h.Key == base+"."+gs.guard) {
+					return
+				}
+			}
+			pass.Reportf(sel.Pos(), "%s.%s is guarded by %s but accessed without it held", owner, sel.Sel.Name, gs.rank)
+		})
+	})
+	return nil
+}
+
+// collect parses the guarded-by annotations of every struct in the
+// package, reporting malformed ones, and returns owner -> field -> spec.
+func collect(pass *lint.Pass) map[string]map[string]guardSpec {
+	guards := map[string]map[string]guardSpec{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, isType := n.(*ast.TypeSpec)
+			if !isType {
+				return true
+			}
+			st, isStruct := ts.Type.(*ast.StructType)
+			if !isStruct {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec, c, found := annotation(field)
+				if !found || len(field.Names) == 0 {
+					continue
+				}
+				gs, err := resolve(pass, ts.Name.Name, st, spec)
+				if err != "" {
+					pass.Reportf(c.Pos(), "guarded-by annotation on %s.%s: %s", ts.Name.Name, field.Names[0].Name, err)
+					continue
+				}
+				if guards[ts.Name.Name] == nil {
+					guards[ts.Name.Name] = map[string]guardSpec{}
+				}
+				for _, name := range field.Names {
+					gs.field = name.Name
+					guards[ts.Name.Name][name.Name] = gs
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// annotation extracts the guard spec from a field's doc or trailing
+// comment.
+func annotation(field *ast.Field) (spec string, c *ast.Comment, found bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedRe.FindStringSubmatch(c.Text); m != nil {
+				return strings.TrimSuffix(m[1], "."), c, true
+			}
+		}
+	}
+	return "", nil, false
+}
+
+// resolve validates a spec against the declaring struct (sibling form) or
+// the package scope (Owner.mu form) and fills in the satisfying rank.
+func resolve(pass *lint.Pass, owner string, st *ast.StructType, spec string) (guardSpec, string) {
+	if ownerName, guardField, qualified := strings.Cut(spec, "."); qualified {
+		if !mutexFieldOf(pass, ownerName, guardField) {
+			return guardSpec{}, "\"" + spec + "\" does not name a sync.Mutex/RWMutex field of a struct in this package"
+		}
+		return guardSpec{owner: owner, rank: spec}, ""
+	}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if name.Name == spec && isMutexExpr(pass, f.Type) {
+				return guardSpec{owner: owner, guard: spec, rank: owner + "." + spec}, ""
+			}
+		}
+	}
+	return guardSpec{}, "no sibling sync.Mutex/RWMutex field \"" + spec + "\""
+}
+
+// mutexFieldOf reports whether package type ownerName has a mutex-typed
+// field guardField.
+func mutexFieldOf(pass *lint.Pass, ownerName, guardField string) bool {
+	obj := pass.Pkg.Scope().Lookup(ownerName)
+	if obj == nil {
+		return false
+	}
+	st, isStruct := obj.Type().Underlying().(*types.Struct)
+	if !isStruct {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == guardField && isMutexType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isMutexExpr(pass *lint.Pass, e ast.Expr) bool {
+	return isMutexType(pass.TypesInfo.Types[e].Type)
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	name := lint.NamedTypeName(t)
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// freshLocals returns the objects of local variables initialized from a
+// composite literal or new() anywhere in the function: unshared until
+// published, so their guarded fields may be written lock-free.
+func freshLocals(pass *lint.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, isIdent := lhs.(*ast.Ident)
+		if !isIdent {
+			return
+		}
+		switch r := rhs.(type) {
+		case *ast.CompositeLit:
+		case *ast.UnaryExpr:
+			if _, isLit := r.X.(*ast.CompositeLit); !isLit {
+				return
+			}
+		case *ast.CallExpr:
+			if fid, isIdent := r.Fun.(*ast.Ident); !isIdent || fid.Name != "new" {
+				return
+			}
+		default:
+			return
+		}
+		obj := types.Object(pass.TypesInfo.Defs[id])
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,11 @@
+package guardedby
+
+import (
+	"testing"
+
+	"encompass/internal/analysis/analysistest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, Analyzer, "guarded")
+}

@@ -1,0 +1,111 @@
+// Test fixture for the guardedby analyzer: sibling and cross-struct
+// annotation forms, the Locked-suffix and fresh-local exemptions, lock
+// confinement of terminating blocks, goroutine contexts, directive
+// suppression, and malformed annotations.
+package guarded
+
+import "sync"
+
+// Counter exercises the sibling form: n is guarded by the adjacent mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *Counter) bad() int {
+	return c.n // want "Counter.n is guarded by Counter.mu but accessed without it held"
+}
+
+func (c *Counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) goodPairedUnlock() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func (c *Counter) badAfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "Counter.n is guarded by Counter.mu but accessed without it held"
+}
+
+// goodEarlyExit: the terminating if-body's unlock is confined to that
+// path, so the access after it still sees the lock held.
+func (c *Counter) goodEarlyExit(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return 0
+	}
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// readLocked: the Locked suffix is the caller-holds-the-lock contract.
+func (c *Counter) readLocked() int {
+	return c.n
+}
+
+// newCounter: a freshly built local is unshared until published.
+func newCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// badGoroutine: a function literal runs later, when the outer critical
+// section may have ended — the held set does not carry in.
+func (c *Counter) badGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		_ = c.n // want "Counter.n is guarded by Counter.mu but accessed without it held"
+	}()
+}
+
+// allowedRead: directive suppression, identical to the vettool's.
+func (c *Counter) allowedRead() int {
+	//lint:allow guardedby test fixture: deliberately suppressed access
+	return c.n
+}
+
+// Registry/entry exercise the cross-struct form: entry.state is guarded
+// by the owning Registry's mu, satisfied by rank alone.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+}
+
+type entry struct {
+	state int // guarded by Registry.mu
+}
+
+func (r *Registry) goodCross(e *entry) {
+	r.mu.Lock()
+	e.state = 1
+	r.mu.Unlock()
+}
+
+func (r *Registry) badCross(e *entry) {
+	e.state = 2 // want "entry.state is guarded by Registry.mu but accessed without it held"
+}
+
+// badSpec carries the two malformed-annotation shapes: a guard comment
+// that cannot be enforced is documentation drift waiting to become a race.
+type badSpec struct {
+	mu sync.Mutex
+	a  int // guarded by nosuch // want "no sibling sync.Mutex/RWMutex field"
+	b  int // guarded by Missing.mu // want "does not name a sync.Mutex/RWMutex field of a struct in this package"
+}
+
+func useBadSpec(s *badSpec) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a + s.b
+}

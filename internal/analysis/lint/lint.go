@@ -24,6 +24,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant check.
@@ -110,7 +111,16 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []*allowDirective {
 // the pseudo-analyzer "lintdirective", as are directives that suppressed
 // nothing — a stale exception is itself a defect.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(fset, files, pkg, info, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus a per-analyzer wall-time map, so
+// the vettool can report where `make lint` spends its budget as the suite
+// grows.
+func RunAnalyzersTimed(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration, error) {
 	var raw []Diagnostic
+	timings := make(map[string]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -120,8 +130,11 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			TypesInfo: info,
 			diags:     &raw,
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		start := time.Now()
+		err := a.Run(pass)
+		timings[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
 
@@ -177,5 +190,22 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 	}
 
 	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
-	return kept, nil
+	return kept, timings, nil
+}
+
+// AllowedLines returns the file:line positions carrying a well-formed
+// //lint:allow directive for the named analyzer. Analyzers that propagate
+// information across call sites (nodeterminism's wall-clock taint) use it
+// to stop propagation at sites the code has already declared benign: an
+// allowed clock read is by declaration not a simulation input, so callers
+// of the function containing it should not inherit the taint.
+func AllowedLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]bool {
+	out := map[string]bool{}
+	for _, dir := range parseDirectives(fset, files) {
+		if dir.analyzer == analyzer && dir.reason != "" {
+			out[fmt.Sprintf("%s:%d", dir.file, dir.line)] = true
+			out[fmt.Sprintf("%s:%d", dir.file, dir.line+1)] = true
+		}
+	}
+	return out
 }

@@ -10,6 +10,13 @@ func TestNoDeterminismSeededPackage(t *testing.T) {
 	analysistest.Run(t, Analyzer, "workload")
 }
 
+// TestNoDeterminismInterprocedural covers the flow-aware checks: wall-clock
+// laundering through local helpers, time.Now value captures, and seed
+// provenance of rand sources.
+func TestNoDeterminismInterprocedural(t *testing.T) {
+	analysistest.Run(t, Analyzer, "dst")
+}
+
 // TestNoDeterminismOtherPackage checks the analyzer is scoped: the same
 // constructs in a non-simulation package report nothing.
 func TestNoDeterminismOtherPackage(t *testing.T) {

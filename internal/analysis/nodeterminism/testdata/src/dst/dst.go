@@ -1,0 +1,56 @@
+// Test fixture for the nodeterminism analyzer's interprocedural checks:
+// dst is a seeded simulation package, so wall-clock laundering through
+// local helpers, time.Now value captures, and rand sources not derived
+// from a run seed are violations here.
+package dst
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SubSeed mirrors the real package's labeled child-seed derivation.
+func SubSeed(root int64, label string) int64 {
+	return root + int64(len(label))
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now in seeded simulation package dst"
+}
+
+// launders reaches the wall clock one call deep.
+func launders() int64 {
+	return wallClock().UnixNano() // want "call to wallClock launders the wall clock"
+}
+
+// laundersDeep reaches it two calls deep — as nondeterministic as the
+// direct read.
+func laundersDeep() int64 {
+	return launders() // want "call to launders launders the wall clock"
+}
+
+func badCapture() func() time.Time {
+	f := time.Now // want "time.Now captured as a value in seeded simulation package dst"
+	return f
+}
+
+func badProvenance(x int64) *rand.Rand {
+	return rand.New(rand.NewSource(x)) // want "does not derive from a run seed"
+}
+
+func goodProvenanceName(rootSeed int64) *rand.Rand {
+	return rand.New(rand.NewSource(rootSeed))
+}
+
+func goodProvenanceSubSeed(rootSeed int64) *rand.Rand {
+	return rand.New(rand.NewSource(SubSeed(rootSeed, "worker")))
+}
+
+// allowedClock: directive suppression for an injectable-clock seam.
+func allowedClock(now func() time.Time) func() time.Time {
+	if now == nil {
+		//lint:allow nodeterminism test fixture: injectable clock seam
+		now = time.Now
+	}
+	return now
+}

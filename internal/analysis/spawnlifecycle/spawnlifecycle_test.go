@@ -1,0 +1,11 @@
+package spawnlifecycle
+
+import (
+	"testing"
+
+	"encompass/internal/analysis/analysistest"
+)
+
+func TestSpawnLifecycle(t *testing.T) {
+	analysistest.Run(t, Analyzer, "msg")
+}

@@ -1,0 +1,123 @@
+// Test fixture for the spawnlifecycle analyzer: every go statement in a
+// monitored package needs a registered exit path — a channel operation,
+// a deferred lifecycle call, or a request/response completion.
+package msg
+
+import "sync"
+
+type Process struct{}
+
+func (p *Process) Reply(req, resp int) error { return nil }
+func (p *Process) Exit()                     {}
+
+func spawnGoodReceive(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func spawnGoodSend(res chan int) {
+	go func() {
+		res <- 1
+	}()
+}
+
+func spawnGoodRange(work chan int) {
+	go func() {
+		for range work {
+		}
+	}()
+}
+
+func spawnGoodClose(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+func spawnGoodWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func spawnGoodDeferredExit(p *Process) {
+	go func() {
+		defer p.Exit()
+	}()
+}
+
+// spawnGoodDeregister: a deferred literal that deregisters (the in-doubt
+// watcher's retire pattern) counts as the exit.
+func spawnGoodDeregister(watchers map[int]bool) {
+	go func() {
+		defer func() {
+			delete(watchers, 1)
+		}()
+	}()
+}
+
+func spawnGoodReply(p *Process) {
+	go func() {
+		_ = p.Reply(1, 2)
+	}()
+}
+
+// leakBody never registers an exit: its death is invisible to takeover.
+func leakBody() {
+	for {
+	}
+}
+
+func spawnBadDecl() {
+	go leakBody() // want "goroutine has no registered exit path"
+}
+
+func spawnBadLit(n *int) {
+	go func() { // want "goroutine has no registered exit path"
+		*n++
+	}()
+}
+
+// spawnBadNested: a nested goroutine's exits are its own — they do not
+// rescue the outer one.
+func spawnBadNested(done chan struct{}) {
+	go func() { // want "goroutine has no registered exit path"
+		go func() {
+			<-done
+		}()
+	}()
+}
+
+type server struct {
+	stop chan struct{}
+}
+
+func (s *server) run() {
+	<-s.stop
+}
+
+func (s *server) spin() {
+	for {
+	}
+}
+
+func (s *server) startGood() {
+	go s.run()
+}
+
+func (s *server) startBad() {
+	go s.spin() // want "goroutine has no registered exit path"
+}
+
+// spawnUnresolved: function values cannot be resolved syntactically and
+// are skipped.
+func spawnUnresolved(f func()) {
+	go f()
+}
+
+// allowedFireAndForget: directive suppression, identical to the vettool's.
+func allowedFireAndForget() {
+	//lint:allow spawnlifecycle test fixture: bounded by construction
+	go leakBody()
+}

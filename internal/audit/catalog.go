@@ -82,10 +82,10 @@ func (t *Trail) dropTrimmedCatalogLocked() {
 	}
 }
 
-// rebuildCatalog reconstructs the generation catalog from segment
+// rebuildCatalogLocked reconstructs the generation catalog from segment
 // headers; used by OpenTrail, where the catalog is not stored separately
-// on media — each segment carries its generation.
-func (t *Trail) rebuildCatalog() {
+// on media — each segment carries its generation. Caller holds t.mu.
+func (t *Trail) rebuildCatalogLocked() {
 	t.catalog = nil
 	last := ^uint64(0)
 	for _, seg := range t.segments {

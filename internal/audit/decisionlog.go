@@ -70,10 +70,10 @@ type DecisionLog struct {
 	forceDelay time.Duration
 
 	mu     sync.Mutex
-	buf    []byte
-	starts []int // byte offset of each framed record in buf
-	recs   []DecisionRecord
-	chain  [chainLen]byte
+	buf    []byte           // guarded by mu
+	starts []int            // guarded by mu; byte offset of each framed record in buf
+	recs   []DecisionRecord // guarded by mu
+	chain  [chainLen]byte   // guarded by mu
 }
 
 // NewDecisionLog creates an empty log. forceDelay simulates the disc

@@ -42,9 +42,9 @@ type MonitorTrail struct {
 	forceDelay time.Duration
 
 	mu      sync.Mutex
-	records []Completion
-	bySeq   map[txid.ID]Outcome
-	nextSeq uint64
+	records []Completion        // guarded by mu
+	bySeq   map[txid.ID]Outcome // guarded by mu
+	nextSeq uint64              // guarded by mu
 }
 
 // NewMonitorTrail creates an empty monitor trail with the given simulated

@@ -87,17 +87,17 @@ type app struct {
 	// workers via participate/markEnded).
 	stateMu sync.Mutex
 	// participated tracks transactions already reported to TMF.
-	participated map[txid.ID]bool
+	participated map[txid.ID]bool // guarded by stateMu
 	// endedSet remembers recently ended transactions so straggler
 	// operations are rejected rather than re-acquiring locks post-release.
-	endedSet map[txid.ID]bool
+	endedSet map[txid.ID]bool // guarded by stateMu
 
 	// pendMu guards pending and nextToken (workers park, the member
 	// goroutine resumes).
 	pendMu sync.Mutex
 	// pending parks lock-waiting requests by token.
-	pending   map[uint64]*pendingOp
-	nextToken uint64
+	pending   map[uint64]*pendingOp // guarded by pendMu
+	nextToken uint64                // guarded by pendMu
 
 	// acl maps file name -> set of node names allowed to access it; a
 	// missing entry means unrestricted.
@@ -553,9 +553,13 @@ type snapshot struct {
 func (a *app) Restore(s any) {
 	snap := s.(*snapshot)
 	a.locks.Restore(snap.locks)
+	// The backup is not serving yet, but the seed writes a guarded field;
+	// holding the (uncontended) mutex keeps the invariant machine-checkable.
+	a.stateMu.Lock()
 	for tx := range snap.participated {
 		a.participated[tx] = true
 	}
+	a.stateMu.Unlock()
 	for name, fs := range snap.files {
 		f := dbfile.NewFile(name, fs.org, fs.altKeys...)
 		for _, r := range fs.recs {

@@ -122,13 +122,13 @@ type scheduler struct {
 	reg     *obs.Registry
 
 	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []*job
-	inflight []*job
-	browsing int  // browse fast-path operations currently running
-	paused   bool // quiesce() for Snapshot
-	spawned  bool
-	closed   bool
+	cond     *sync.Cond // shares mu
+	queue    []*job     // guarded by mu
+	inflight []*job     // guarded by mu
+	browsing int        // guarded by mu; browse fast-path operations currently running
+	paused   bool       // guarded by mu; quiesce() for Snapshot
+	spawned  bool       // guarded by mu
+	closed   bool       // guarded by mu
 
 	stats SchedStats // guarded by mu
 
@@ -169,6 +169,7 @@ func (s *scheduler) enqueue(ctx *pair.Ctx, m msg.Message, fp footprint) {
 	if !s.spawned {
 		s.spawned = true
 		for i := 0; i < s.workers; i++ {
+			//lint:allow spawnlifecycle workers retire via the closed flag: watch() observes the member context ending and cond-broadcasts every worker out of its loop
 			go s.run(ctx)
 		}
 		go s.watch(ctx)

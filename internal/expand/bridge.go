@@ -31,8 +31,8 @@ type Bridge struct {
 	ln   net.Listener
 
 	mu     sync.Mutex
-	peers  map[string]*peerConn
-	closed bool
+	peers  map[string]*peerConn // guarded by mu
+	closed bool                 // guarded by mu
 }
 
 // ErrPeerUnknown reports a send to a node with no live connection.
@@ -64,6 +64,7 @@ func ListenBridge(sys *msg.System, addr string) (*Bridge, error) {
 		peers: make(map[string]*peerConn),
 	}
 	sys.AttachNetwork(b)
+	//lint:allow spawnlifecycle accept loop ends when Close() closes the listener and Accept returns an error
 	go b.acceptLoop()
 	return b, nil
 }
@@ -100,6 +101,7 @@ func (b *Bridge) acceptLoop() {
 		if err != nil {
 			return
 		}
+		//lint:allow spawnlifecycle bounded handshake: the goroutine becomes the connection's read loop, which exits when the conn is closed by Disconnect or the peer
 		go func() {
 			enc := gob.NewEncoder(conn)
 			dec := gob.NewDecoder(conn)

@@ -385,6 +385,7 @@ func (s *session) kick() {
 	s.mu.Lock()
 	s.rto = sessRetryBase
 	s.mu.Unlock()
+	//lint:allow spawnlifecycle bounded one-shot: retransmit gives up after sessRetries attempts and re-arms only via the timerArmed flag under s.mu
 	go s.retransmit()
 }
 

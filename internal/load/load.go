@@ -118,6 +118,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	now := cfg.Now
 	if now == nil {
+		//lint:allow nodeterminism the injectable clock seam: real runs pace schedules and measure latency off the wall clock; DST/tests inject Config.Now
 		now = time.Now
 	}
 	sleep := cfg.Sleep

@@ -76,7 +76,7 @@ type waiter struct {
 	key   Key
 	grant func(error)
 	timer *time.Timer
-	done  bool // granted, expired, or cancelled; guarded by the shard mutex
+	done  bool // granted, expired, or cancelled; guarded by shard.mu
 }
 
 // shard is one file's lock state. waiters is kept in arrival order; it is

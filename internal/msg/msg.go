@@ -137,7 +137,7 @@ const inboxFullTimeout = 5 * time.Second
 // exactly like the channel it replaces.
 type mailbox struct {
 	mu    sync.Mutex
-	q     []Message
+	q     []Message     // guarded by mu
 	wake  chan struct{} // cap 1: receiver wakeup
 	space chan struct{} // cap 1: sender wakeup after a full-queue drain
 }
@@ -357,13 +357,13 @@ type System struct {
 	node *hw.Node
 
 	mu      sync.Mutex
-	nextPID uint64
-	procs   map[uint64]*Process
-	names   map[string]*Process
+	nextPID uint64              // guarded by mu
+	procs   map[uint64]*Process // guarded by mu
+	names   map[string]*Process // guarded by mu
 
 	nextCorr atomic.Uint64
 	waitMu   sync.Mutex
-	waiters  map[uint64]chan Message
+	waiters  map[uint64]chan Message // guarded by waitMu
 
 	remote RemoteSender
 

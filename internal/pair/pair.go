@@ -117,8 +117,8 @@ type Pair struct {
 	factory func() App
 
 	mu      sync.Mutex
-	primary *member
-	backup  *member
+	primary *member // guarded by mu
+	backup  *member // guarded by mu
 
 	backupSeq   atomic.Uint64
 	checkpoints atomic.Uint64

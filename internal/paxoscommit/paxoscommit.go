@@ -20,6 +20,7 @@ package paxoscommit
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"encompass/internal/audit"
@@ -164,10 +165,12 @@ type acceptor struct {
 	log  *audit.DecisionLog
 
 	mu  sync.Mutex
-	txs map[txid.ID]*txState
+	txs map[txid.ID]*txState // guarded by mu
 }
 
-func (a *acceptor) tx(id txid.ID) *txState {
+// txLocked returns (creating if needed) the per-transaction state;
+// the caller must hold a.mu.
+func (a *acceptor) txLocked(id txid.ID) *txState {
 	st, ok := a.txs[id]
 	if !ok {
 		st = &txState{instances: make(map[string]*instState)}
@@ -176,8 +179,10 @@ func (a *acceptor) tx(id txid.ID) *txState {
 	return st
 }
 
-func (a *acceptor) inst(id txid.ID, name string) *instState {
-	st := a.tx(id)
+// instLocked returns (creating if needed) one instance's acceptor state;
+// the caller must hold a.mu.
+func (a *acceptor) instLocked(id txid.ID, name string) *instState {
+	st := a.txLocked(id)
 	in, ok := st.instances[name]
 	if !ok {
 		in = &instState{}
@@ -195,20 +200,20 @@ func (a *acceptor) replayState() {
 	for _, rec := range a.log.Records() {
 		switch rec.Kind {
 		case audit.DecisionJoin:
-			a.inst(rec.Tx, rec.Instance)
+			a.instLocked(rec.Tx, rec.Instance)
 		case audit.DecisionPromise:
-			in := a.inst(rec.Tx, rec.Instance)
+			in := a.instLocked(rec.Tx, rec.Instance)
 			if rec.Ballot > in.promised {
 				in.promised = rec.Ballot
 			}
 		case audit.DecisionAccept:
-			in := a.inst(rec.Tx, rec.Instance)
+			in := a.instLocked(rec.Tx, rec.Instance)
 			in.hasAcc, in.accBallot, in.accValue = true, rec.Ballot, uint8(rec.Value)
 			if rec.Ballot > in.promised {
 				in.promised = rec.Ballot
 			}
 		case audit.DecisionOutcome:
-			a.tx(rec.Tx).outcome = uint8(rec.Value)
+			a.txLocked(rec.Tx).outcome = uint8(rec.Value)
 		}
 	}
 }
@@ -220,7 +225,7 @@ type AcceptorSet struct {
 	sys *msg.System
 
 	mu        sync.Mutex
-	acceptors []*acceptor
+	acceptors []*acceptor // guarded by mu
 }
 
 // Start spawns n acceptor processes on the node. logs, when non-nil,
@@ -310,7 +315,7 @@ func (a *acceptor) handle(p *msg.Process, req msg.Message) {
 			return
 		}
 		a.mu.Lock()
-		st := a.tx(r.Tx)
+		st := a.txLocked(r.Tx)
 		if _, known := st.instances[r.Instance]; !known {
 			st.instances[r.Instance] = &instState{}
 			a.log.Append(audit.DecisionRecord{Tx: r.Tx, Kind: audit.DecisionJoin, Instance: r.Instance})
@@ -343,7 +348,7 @@ func (a *acceptor) handle(p *msg.Process, req msg.Message) {
 			return
 		}
 		a.mu.Lock()
-		in := a.inst(r.Tx, r.Instance)
+		in := a.instLocked(r.Tx, r.Instance)
 		resp := prepareResp{Promised: in.promised, HasAccepted: in.hasAcc, AccBallot: in.accBallot, AccValue: in.accValue}
 		if r.Ballot > in.promised {
 			a.log.Append(audit.DecisionRecord{Tx: r.Tx, Kind: audit.DecisionPromise, Instance: r.Instance, Ballot: r.Ballot})
@@ -369,8 +374,12 @@ func (a *acceptor) handle(p *msg.Process, req msg.Message) {
 					Name: name, HasAccepted: in.hasAcc, Ballot: in.accBallot, Value: in.accValue,
 				})
 			}
+			// The learner's view must not depend on map order: recovery
+			// compares these frames across seeded replays.
+			sort.Slice(resp.Instances, func(i, j int) bool { return resp.Instances[i].Name < resp.Instances[j].Name })
 		}
 		a.mu.Unlock()
+		//lint:allow forcefirst learn is a read-only answer: it externalizes only state previous appends already made durable
 		_ = p.Reply(req, resp)
 
 	case kindOutcome:
@@ -380,7 +389,7 @@ func (a *acceptor) handle(p *msg.Process, req msg.Message) {
 			return
 		}
 		a.mu.Lock()
-		st := a.tx(r.Tx)
+		st := a.txLocked(r.Tx)
 		if st.outcome == 0 && (r.Outcome == outcomeCommitted || r.Outcome == outcomeAborted) {
 			a.log.Append(audit.DecisionRecord{Tx: r.Tx, Kind: audit.DecisionOutcome, Value: r.Outcome})
 			st.outcome = r.Outcome
@@ -403,7 +412,7 @@ func (a *acceptor) accept(tx txid.ID, instance string, ballot uint64, value uint
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	in := a.inst(tx, instance)
+	in := a.instLocked(tx, instance)
 	if ballot < in.promised {
 		return acceptResp{OK: false, Promised: in.promised}
 	}

@@ -70,15 +70,15 @@ type tcb struct {
 	isHome bool
 	source string // node that first transmitted the transid to us (non-home)
 
-	children  map[string]bool // nodes we directly transmitted the transid to
-	localVols map[string]bool // participating volumes on this node
+	children  map[string]bool // guarded by Monitor.mu; nodes we directly transmitted the transid to
+	localVols map[string]bool // guarded by Monitor.mu; participating volumes on this node
 
-	phase1Acked bool // non-home: we replied affirmatively to phase one
+	phase1Acked bool // guarded by Monitor.mu; non-home: we replied affirmatively to phase one
 	// protoBegun: the transaction entered the disposition protocol on this
 	// node (its instances are registered with the decision infrastructure).
-	// Never set under the abbreviated protocol.
+	// Never set under the abbreviated protocol. Guarded by Monitor.mu.
 	protoBegun  bool
-	abortReason string
+	abortReason string // guarded by Monitor.mu
 
 	// beginAt anchors the begin→ENDED latency histogram.
 	beginAt time.Time
@@ -89,7 +89,7 @@ type tcb struct {
 	// consults it under the same mutex that the protocol's participant
 	// snapshots use, so an operation either lands before the snapshot
 	// (and is frozen, backed out and released with the rest) or is
-	// rejected — never applied and then orphaned.
+	// rejected — never applied and then orphaned. Guarded by Monitor.mu.
 	noNewWork bool
 
 	// protoMu serializes the commit/abort protocol for this transaction on
@@ -129,15 +129,15 @@ type Monitor struct {
 	mat  *audit.MonitorTrail
 
 	mu      sync.Mutex
-	txs     map[txid.ID]*tcb
-	seq     map[int]uint64 // per-CPU BEGIN sequence numbers
-	volumes map[string]VolumeInfo
+	txs     map[txid.ID]*tcb      // guarded by mu
+	seq     map[int]uint64        // guarded by mu; per-CPU BEGIN sequence numbers
+	volumes map[string]VolumeInfo // guarded by mu
 
 	// tabMu guards the per-CPU replicated state tables and, under the
 	// piggyback knob, the pending set of deferred 'active' replications.
 	tabMu   sync.Mutex
-	tables  []map[txid.ID]txid.State
-	pending map[txid.ID]txid.State
+	tables  []map[txid.ID]txid.State // guarded by tabMu
+	pending map[txid.ID]txid.State   // guarded by tabMu
 
 	// piggyback defers the BEGIN 'active' table broadcast so it rides the
 	// transaction's next state-change frame (END or abort) as one
@@ -148,16 +148,16 @@ type Monitor struct {
 
 	// transitions is the Figure 3 conformance log.
 	trMu        sync.Mutex
-	transitions []Transition
-	violations  []Transition
+	transitions []Transition // guarded by trMu
+	violations  []Transition // guarded by trMu
 
 	// safe-delivery queue per destination node, with a self-arming
 	// bounded-backoff retry so queued messages don't wait for a topology
 	// event that may never come (e.g. a lossy-but-up link).
 	sqMu         sync.Mutex
-	safeQueue    map[string][]safeMsg
-	sqRetryArmed bool
-	sqRetryDelay time.Duration
+	safeQueue    map[string][]safeMsg // guarded by sqMu
+	sqRetryArmed bool                 // guarded by sqMu
+	sqRetryDelay time.Duration        // guarded by sqMu
 
 	// Observability: the registry is the single source of truth for
 	// activity counters (Stats is a thin alias view), the tracer captures
@@ -190,7 +190,7 @@ type Monitor struct {
 	// watchMu guards the set of armed in-doubt watchers (one per
 	// unresolved transaction under a non-blocking protocol).
 	watchMu  sync.Mutex
-	watchers map[txid.ID]bool
+	watchers map[txid.ID]bool // guarded by watchMu
 
 	// phase1Hook, when set, runs between a successful phase one and the
 	// write of the commit record; fault-injection experiments use it to
@@ -553,9 +553,6 @@ func (m *Monitor) broadcast(tx txid.ID, to txid.State) {
 // the operator's stuck-transaction sweep) would mistake committed work for
 // never-begun work and back it out.
 func (m *Monitor) reseedTable(cpu int) {
-	if cpu < 0 || cpu >= len(m.tables) {
-		return
-	}
 	var donor = -1
 	for _, up := range m.sys.Node().UpCPUs() {
 		if up != cpu {
@@ -563,17 +560,22 @@ func (m *Monitor) reseedTable(cpu int) {
 			break
 		}
 	}
+	// The bounds checks read len(m.tables) and so belong under tabMu with
+	// the copy; reseeding is a revival-only path, never hot.
+	m.tabMu.Lock()
+	defer m.tabMu.Unlock()
+	if cpu < 0 || cpu >= len(m.tables) {
+		return
+	}
 	if donor < 0 || donor >= len(m.tables) {
 		return // total node failure: nothing survives to copy (ROLLFORWARD path)
 	}
-	m.tabMu.Lock()
 	fresh := make(map[txid.ID]txid.State, len(m.tables[donor]))
 	for tx, st := range m.tables[donor] {
 		//lint:allow statetrans reseeding copies a surviving replica verbatim; no Figure-3 edge is taken, so there is nothing for the transition log to see
 		fresh[tx] = st
 	}
 	m.tables[cpu] = fresh
-	m.tabMu.Unlock()
 }
 
 // Forget removes a terminal transaction's replicated state ("the transid

@@ -405,6 +405,7 @@ func (m *Monitor) FlushSafeQueue() {
 // messages are retried, and transactions that involve now-unreachable
 // nodes are aborted where the protocol permits.
 func (m *Monitor) onTopologyChange() {
+	//lint:allow spawnlifecycle fire-and-forget by design: both calls are idempotent sweeps that terminate on their own; a lost sweep is re-triggered by the next topology event or the safe-queue retry timer
 	go func() {
 		m.FlushSafeQueue()
 		m.abortUnreachable()
@@ -480,6 +481,7 @@ func (m *Monitor) onHWEvent(e hw.Event) {
 	}
 	m.mu.Unlock()
 	for _, id := range victims {
+		//lint:allow spawnlifecycle fire-and-forget by design: abortInternal is idempotent and serialized per-transaction by tcb.protoMu; the in-doubt watcher re-drives any abort this goroutine fails to finish
 		go m.abortInternal(id, fmt.Sprintf("processor %d failed", e.CPU))
 	}
 }
